@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 10: average per-cell relative error of the
+// grid-based prediction vs the sliding-window size w, for workers and
+// tasks on synthetic and real-substitute (check-in) data, plus the
+// Appendix-F breakdown per worker distribution (Fig. 22's error
+// counterpart).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "prediction/predictor.h"
+
+namespace {
+
+using namespace mqa;
+using bench::Defaults;
+using bench::PaperDefaults;
+
+struct ErrorPair {
+  double worker;
+  double task;
+};
+
+// Streams the arrival batches through a GridPredictor and averages the
+// Fig. 10 relative error over instances 1..R-1.
+ErrorPair MeasureError(const ArrivalStream& stream, int window, int gamma) {
+  PredictionConfig config;
+  config.gamma = gamma;
+  config.window = window;
+  GridPredictor predictor(config);
+  const Grid grid(gamma);
+
+  double worker_sum = 0.0;
+  double task_sum = 0.0;
+  int count = 0;
+  std::vector<int64_t> pred_w;
+  std::vector<int64_t> pred_t;
+  for (int p = 0; p < stream.num_instances(); ++p) {
+    std::vector<Point> wp;
+    for (const Worker& w : stream.workers[static_cast<size_t>(p)]) {
+      wp.push_back(w.Center());
+    }
+    std::vector<Point> tp;
+    for (const Task& t : stream.tasks[static_cast<size_t>(p)]) {
+      tp.push_back(t.Center());
+    }
+    if (!pred_w.empty()) {
+      worker_sum += GridPredictor::AverageRelativeError(pred_w,
+                                                        grid.Histogram(wp));
+      task_sum +=
+          GridPredictor::AverageRelativeError(pred_t, grid.Histogram(tp));
+      ++count;
+    }
+    predictor.Observe(stream.workers[static_cast<size_t>(p)],
+                      stream.tasks[static_cast<size_t>(p)]);
+    const Prediction pred = predictor.PredictNext();
+    pred_w = pred.worker_cell_counts;
+    pred_t = pred.task_cell_counts;
+  }
+  return {worker_sum / count, task_sum / count};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 10 — prediction accuracy vs sliding-window size w");
+  const PaperDefaults d = Defaults();
+
+  const ArrivalStream synth = GenerateSynthetic(bench::MakeSyntheticConfig(d));
+  const ArrivalStream real = GenerateCheckin(bench::MakeCheckinConfig(d));
+
+  std::printf("Average relative error (%%), %dx%d grid:\n", d.gamma, d.gamma);
+  std::printf("%-4s %12s %12s %12s %12s\n", "w", "Worker(S)", "Task(S)",
+              "Worker(R)", "Task(R)");
+  for (int w = 1; w <= 5; ++w) {
+    const ErrorPair s = MeasureError(synth, w, d.gamma);
+    const ErrorPair r = MeasureError(real, w, d.gamma);
+    std::printf("%-4d %12.2f %12.2f %12.2f %12.2f\n", w, 100.0 * s.worker,
+                100.0 * s.task, 100.0 * r.worker, 100.0 * r.task);
+  }
+
+  // Appendix F: per worker-distribution sensitivity on synthetic data.
+  std::printf("\nAppendix F — worker prediction error (%%) per worker "
+              "distribution:\n");
+  std::printf("%-4s %12s %12s %12s\n", "w", "GAUS", "UNIF", "ZIPF");
+  for (int w = 1; w <= 5; ++w) {
+    std::printf("%-4d", w);
+    for (const SpatialDistribution dist :
+         {SpatialDistribution::kGaussian, SpatialDistribution::kUniform,
+          SpatialDistribution::kZipf}) {
+      SyntheticConfig config = bench::MakeSyntheticConfig(d);
+      config.worker_dist.kind = dist;
+      const ErrorPair e = MeasureError(GenerateSynthetic(config), w, d.gamma);
+      std::printf(" %12.2f", 100.0 * e.worker);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces paper Fig. 11 (and the WoP comparison of Section VI-A):
+// quality score and running time vs the per-instance budget B on
+// synthetic data, for GREEDY/D&C/RANDOM with and without prediction.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 11 — effect of budget B (synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+
+  const ArrivalStream stream =
+      GenerateSynthetic(bench::MakeSyntheticConfig(d));
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const double b : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    bench::PaperDefaults dd = d;
+    dd.budget = b * bench::Scale();
+    labels.push_back("B=" + std::to_string(static_cast<int>(b)));
+    rows.push_back(bench::RunAllVariants(stream, quality, dd,
+                                         /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("budget B", labels, rows);
+  return 0;
+}

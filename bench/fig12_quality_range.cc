@@ -1,0 +1,33 @@
+// Reproduces paper Fig. 12 (real data) and Fig. 23 (WP vs WoP): quality
+// score and running time vs the quality range [q-, q+] on the check-in
+// (real-substitute) workload.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader(
+      "Fig. 12 / Fig. 23 — effect of the quality range [q-,q+] (real data)");
+  bench::PaperDefaults d = bench::Defaults();
+  d.budget = bench::CheckinBudget();
+
+  const ArrivalStream stream = GenerateCheckin(bench::MakeCheckinConfig(d));
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  const std::vector<std::pair<double, double>> ranges = {
+      {0.25, 0.5}, {0.5, 1.0}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0}};
+  for (const auto& [lo, hi] : ranges) {
+    const RangeQualityModel quality(lo, hi, d.seed);
+    labels.push_back("[" + std::to_string(lo).substr(0, 4) + "," +
+                     std::to_string(hi).substr(0, 4) + "]");
+    rows.push_back(bench::RunAllVariants(stream, quality, d,
+                                         /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("[q-,q+]", labels, rows);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 13 (real data) and Fig. 24 (WP vs WoP): quality
+// score and running time vs the task-deadline range [e-, e+] on the
+// check-in workload. Looser deadlines admit more valid pairs; on the
+// (cheap-distance) real-like data this raises achievable quality.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader(
+      "Fig. 13 / Fig. 24 — effect of tasks' deadlines [e-,e+] (real data)");
+  bench::PaperDefaults d = bench::Defaults();
+  d.budget = bench::CheckinBudget();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  const std::vector<std::pair<double, double>> ranges = {
+      {0.25, 0.5}, {0.5, 1.0}, {1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0}};
+  for (const auto& [lo, hi] : ranges) {
+    CheckinConfig config = bench::MakeCheckinConfig(d);
+    config.deadline_lo = lo;
+    config.deadline_hi = hi;
+    labels.push_back("[" + std::to_string(lo).substr(0, 4) + "," +
+                     std::to_string(hi).substr(0, 4) + "]");
+    rows.push_back(bench::RunAllVariants(GenerateCheckin(config), quality, d,
+                                         /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("[e-,e+]", labels, rows);
+  return 0;
+}

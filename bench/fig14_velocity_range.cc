@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 14 (synthetic data) and Fig. 25 (WP vs WoP):
+// quality score and running time vs the worker velocity range [v-, v+].
+// Faster workers validate long (expensive) pairs that consume the budget
+// quickly, so total quality *decreases* with velocity (paper Section
+// VI-B).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader(
+      "Fig. 14 / Fig. 25 — effect of velocities [v-,v+] (synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  const std::vector<std::pair<double, double>> ranges = {
+      {0.1, 0.2}, {0.2, 0.3}, {0.3, 0.4}, {0.4, 0.5}};
+  for (const auto& [lo, hi] : ranges) {
+    SyntheticConfig config = bench::MakeSyntheticConfig(d);
+    config.velocity_lo = lo;
+    config.velocity_hi = hi;
+    labels.push_back("[" + std::to_string(lo).substr(0, 3) + "," +
+                     std::to_string(hi).substr(0, 3) + "]");
+    rows.push_back(bench::RunAllVariants(GenerateSynthetic(config), quality,
+                                         d, /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("[v-,v+]", labels, rows);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 15 (synthetic data) and Fig. 26 (WP vs WoP):
+// quality score and running time vs the total number m of tasks across
+// the R instances.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 15 / Fig. 26 — effect of the number m of tasks "
+                     "(synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const int m : {1000, 3000, 5000, 8000, 10000}) {
+    SyntheticConfig config = bench::MakeSyntheticConfig(d);
+    config.num_tasks = static_cast<int64_t>(m * bench::Scale());
+    labels.push_back("m=" + std::to_string(m / 1000) + "K");
+    rows.push_back(bench::RunAllVariants(GenerateSynthetic(config), quality,
+                                         d, /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("tasks m", labels, rows);
+  return 0;
+}

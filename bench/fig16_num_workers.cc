@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 16 (synthetic data) and Fig. 27 (WP vs WoP):
+// quality score and running time vs the total number n of workers across
+// the R instances.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 16 / Fig. 27 — effect of the number n of workers "
+                     "(synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const int n : {1000, 3000, 5000, 8000, 10000}) {
+    SyntheticConfig config = bench::MakeSyntheticConfig(d);
+    config.num_workers = static_cast<int64_t>(n * bench::Scale());
+    labels.push_back("n=" + std::to_string(n / 1000) + "K");
+    rows.push_back(bench::RunAllVariants(GenerateSynthetic(config), quality,
+                                         d, /*include_wop=*/true));
+  }
+  bench::PrintSweepTables("workers n", labels, rows);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 18/19 (Appendix D): quality score and running
+// time over the 9 worker x task location-distribution combinations
+// (G/U/Z each side) on synthetic data.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 18/19 — worker-task distribution combinations "
+                     "(synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  const SpatialDistribution dists[] = {SpatialDistribution::kGaussian,
+                                       SpatialDistribution::kUniform,
+                                       SpatialDistribution::kZipf};
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const auto worker_dist : dists) {
+    for (const auto task_dist : dists) {
+      SyntheticConfig config = bench::MakeSyntheticConfig(d);
+      config.worker_dist.kind = worker_dist;
+      config.task_dist.kind = task_dist;
+      labels.push_back(std::string(SpatialDistributionCode(worker_dist)) +
+                       "-" + SpatialDistributionCode(task_dist));
+      rows.push_back(bench::RunAllVariants(GenerateSynthetic(config), quality,
+                                           d, /*include_wop=*/false));
+    }
+  }
+  bench::PrintSweepTables("<W-T> dists", labels, rows);
+  return 0;
+}

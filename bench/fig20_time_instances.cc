@@ -1,0 +1,31 @@
+// Reproduces paper Fig. 20 (Appendix E): quality score and running time
+// vs the number R of time instances (fixed worker/task totals, so larger
+// R means fewer arrivals per instance).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 20 — effect of the number R of time instances "
+                     "(synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const int r : {10, 15, 20, 25}) {
+    SyntheticConfig config = bench::MakeSyntheticConfig(d);
+    config.num_instances = r;
+    bench::PaperDefaults dd = d;
+    dd.num_instances = r;
+    labels.push_back("R=" + std::to_string(r));
+    rows.push_back(bench::RunAllVariants(GenerateSynthetic(config), quality,
+                                         dd, /*include_wop=*/false));
+  }
+  bench::PrintSweepTables("instances R", labels, rows);
+  return 0;
+}

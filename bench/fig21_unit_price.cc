@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 21 (Appendix E): quality score and running time
+// vs the unit price C per traveling-distance unit. Larger C makes pairs
+// pricier under the same budget, reducing the selected set.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 21 — effect of the unit price C (synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+  const ArrivalStream stream =
+      GenerateSynthetic(bench::MakeSyntheticConfig(d));
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bench::VariantResult>> rows;
+  for (const double c : {5.0, 10.0, 15.0, 20.0}) {
+    bench::PaperDefaults dd = d;
+    dd.unit_price = c;
+    labels.push_back("C=" + std::to_string(static_cast<int>(c)));
+    rows.push_back(bench::RunAllVariants(stream, quality, dd,
+                                         /*include_wop=*/false));
+  }
+  bench::PrintSweepTables("unit price C", labels, rows);
+  return 0;
+}

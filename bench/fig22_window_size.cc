@@ -1,0 +1,42 @@
+// Reproduces paper Fig. 22 (Appendix F): quality score vs the prediction
+// sliding-window size w, for three worker location distributions
+// (Gaussian / Uniform / Zipf) on synthetic data.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "quality/range_quality.h"
+
+int main() {
+  using namespace mqa;
+  bench::PrintHeader("Fig. 22 — effect of the window size w per worker "
+                     "distribution (synthetic data)");
+  const bench::PaperDefaults d = bench::Defaults();
+  const RangeQualityModel quality(d.q_lo, d.q_hi, d.seed);
+
+  const std::pair<SpatialDistribution, const char*> dists[] = {
+      {SpatialDistribution::kGaussian, "GAUS"},
+      {SpatialDistribution::kUniform, "UNIF"},
+      {SpatialDistribution::kZipf, "ZIPF"}};
+
+  for (const auto& [dist, name] : dists) {
+    SyntheticConfig config = bench::MakeSyntheticConfig(d);
+    config.worker_dist.kind = dist;
+    const ArrivalStream stream = GenerateSynthetic(config);
+
+    std::vector<std::string> labels;
+    std::vector<std::vector<bench::VariantResult>> rows;
+    for (int w = 1; w <= 5; ++w) {
+      bench::PaperDefaults dd = d;
+      dd.window = w;
+      labels.push_back("w=" + std::to_string(w));
+      rows.push_back(bench::RunAllVariants(stream, quality, dd,
+                                           /*include_wop=*/false));
+    }
+    std::printf("--- worker distribution: %s ---\n", name);
+    bench::PrintSweepTables("window w", labels, rows);
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Command-line driver for the full MQA pipeline: pick a workload, an
+// algorithm and the paper's parameters from flags, run the simulator and
+// print per-instance metrics (optionally as CSV for plotting).
+//
+// Examples:
+//   mqa_cli --workload=checkin --algo=dc --budget=300 --instances=15
+//   mqa_cli --workload=synthetic --algo=greedy --no-prediction \
+//           --workers=2000 --tasks=2000 --csv
+//   mqa_cli --workload=synthetic --worker-dist=zipf --task-dist=uniform
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/assigner.h"
+#include "quality/range_quality.h"
+#include "sim/simulator.h"
+#include "workload/checkin.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace mqa;
+
+struct CliOptions {
+  std::string workload = "synthetic";  // synthetic | checkin
+  std::string algo = "greedy";         // greedy | dc | random
+  std::string worker_dist = "gaussian";
+  std::string task_dist = "zipf";
+  int64_t workers = 1250;
+  int64_t tasks = 1250;
+  int instances = 15;
+  double budget = 75.0;
+  double unit_price = 10.0;
+  double q_lo = 1.0, q_hi = 2.0;
+  double e_lo = 1.0, e_hi = 2.0;
+  double v_lo = 0.2, v_hi = 0.3;
+  int gamma = 20;
+  int window = 3;
+  bool prediction = true;
+  bool rejoin = false;
+  bool csv = false;
+  uint64_t seed = 42;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool ParseNumeric(const char* arg, const char* name, T* out) {
+  std::string value;
+  if (!ParseFlag(arg, name, &value)) return false;
+  *out = static_cast<T>(std::atof(value.c_str()));
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: mqa_cli [flags]\n"
+      "  --workload=synthetic|checkin   --algo=greedy|dc|random\n"
+      "  --workers=N --tasks=N --instances=R --budget=B --unit-price=C\n"
+      "  --q-lo --q-hi --e-lo --e-hi --v-lo --v-hi (paper ranges)\n"
+      "  --worker-dist=gaussian|uniform|zipf --task-dist=...\n"
+      "  --gamma=G --window=W --seed=S\n"
+      "  --no-prediction --rejoin --csv\n");
+}
+
+SpatialDistribution ParseDist(const std::string& s) {
+  if (s == "uniform") return SpatialDistribution::kUniform;
+  if (s == "zipf") return SpatialDistribution::kZipf;
+  return SpatialDistribution::kGaussian;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string sval;
+    if (ParseFlag(a, "--workload", &opt.workload) ||
+        ParseFlag(a, "--algo", &opt.algo) ||
+        ParseFlag(a, "--worker-dist", &opt.worker_dist) ||
+        ParseFlag(a, "--task-dist", &opt.task_dist) ||
+        ParseNumeric(a, "--workers", &opt.workers) ||
+        ParseNumeric(a, "--tasks", &opt.tasks) ||
+        ParseNumeric(a, "--instances", &opt.instances) ||
+        ParseNumeric(a, "--budget", &opt.budget) ||
+        ParseNumeric(a, "--unit-price", &opt.unit_price) ||
+        ParseNumeric(a, "--q-lo", &opt.q_lo) ||
+        ParseNumeric(a, "--q-hi", &opt.q_hi) ||
+        ParseNumeric(a, "--e-lo", &opt.e_lo) ||
+        ParseNumeric(a, "--e-hi", &opt.e_hi) ||
+        ParseNumeric(a, "--v-lo", &opt.v_lo) ||
+        ParseNumeric(a, "--v-hi", &opt.v_hi) ||
+        ParseNumeric(a, "--gamma", &opt.gamma) ||
+        ParseNumeric(a, "--window", &opt.window) ||
+        ParseNumeric(a, "--seed", &opt.seed)) {
+      continue;
+    }
+    if (std::strcmp(a, "--no-prediction") == 0) {
+      opt.prediction = false;
+    } else if (std::strcmp(a, "--rejoin") == 0) {
+      opt.rejoin = true;
+    } else if (std::strcmp(a, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  ArrivalStream stream;
+  if (opt.workload == "checkin") {
+    CheckinConfig w;
+    w.num_workers = opt.workers;
+    w.num_tasks = opt.tasks;
+    w.num_instances = opt.instances;
+    w.velocity_lo = opt.v_lo;
+    w.velocity_hi = opt.v_hi;
+    w.deadline_lo = opt.e_lo;
+    w.deadline_hi = opt.e_hi;
+    w.seed = opt.seed;
+    stream = GenerateCheckin(w);
+  } else if (opt.workload == "synthetic") {
+    SyntheticConfig w;
+    w.num_workers = opt.workers;
+    w.num_tasks = opt.tasks;
+    w.num_instances = opt.instances;
+    w.worker_dist.kind = ParseDist(opt.worker_dist);
+    w.task_dist.kind = ParseDist(opt.task_dist);
+    w.velocity_lo = opt.v_lo;
+    w.velocity_hi = opt.v_hi;
+    w.deadline_lo = opt.e_lo;
+    w.deadline_hi = opt.e_hi;
+    w.seed = opt.seed;
+    stream = GenerateSynthetic(w);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", opt.workload.c_str());
+    return 2;
+  }
+
+  AssignerKind kind = AssignerKind::kGreedy;
+  if (opt.algo == "dc") kind = AssignerKind::kDivideConquer;
+  else if (opt.algo == "random") kind = AssignerKind::kRandom;
+  else if (opt.algo != "greedy") {
+    std::fprintf(stderr, "unknown algo: %s\n", opt.algo.c_str());
+    return 2;
+  }
+
+  const RangeQualityModel quality(opt.q_lo, opt.q_hi, opt.seed);
+  SimulatorConfig config;
+  config.budget = opt.budget;
+  config.unit_price = opt.unit_price;
+  config.use_prediction = opt.prediction;
+  config.prediction.gamma = opt.gamma;
+  config.prediction.window = opt.window;
+  config.prediction.seed = opt.seed;
+  config.workers_rejoin = opt.rejoin;
+
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(kind, {.seed = opt.seed});
+  const auto summary = sim.Run(stream, assigner.get());
+  if (!summary.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  const SimulationSummary& s = summary.value();
+
+  if (opt.csv) {
+    std::printf(
+        "instance,workers,tasks,predicted_workers,predicted_tasks,"
+        "assigned,quality,cost,cpu_seconds,worker_pred_err,task_pred_err\n");
+    for (const InstanceMetrics& m : s.per_instance) {
+      std::printf("%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                  static_cast<long long>(m.instance),
+                  static_cast<long long>(m.workers_available),
+                  static_cast<long long>(m.tasks_available),
+                  static_cast<long long>(m.predicted_workers),
+                  static_cast<long long>(m.predicted_tasks),
+                  static_cast<long long>(m.assigned), m.quality, m.cost,
+                  m.cpu_seconds, m.worker_prediction_error,
+                  m.task_prediction_error);
+    }
+    return 0;
+  }
+
+  std::printf("%s on %s (%lld workers, %lld tasks, R=%d, B=%.0f, C=%.0f, "
+              "%s)\n\n",
+              assigner->name(), opt.workload.c_str(),
+              static_cast<long long>(opt.workers),
+              static_cast<long long>(opt.tasks), opt.instances, opt.budget,
+              opt.unit_price, opt.prediction ? "WP" : "WoP");
+  std::printf("%4s %8s %8s %9s %8s %10s %10s %9s\n", "p", "workers",
+              "tasks", "pred.w/t", "assigned", "quality", "cost", "sec");
+  for (const InstanceMetrics& m : s.per_instance) {
+    std::printf("%4lld %8lld %8lld %4lld/%-4lld %8lld %10.1f %10.1f %9.4f\n",
+                static_cast<long long>(m.instance),
+                static_cast<long long>(m.workers_available),
+                static_cast<long long>(m.tasks_available),
+                static_cast<long long>(m.predicted_workers),
+                static_cast<long long>(m.predicted_tasks),
+                static_cast<long long>(m.assigned), m.quality, m.cost,
+                m.cpu_seconds);
+  }
+  std::printf("\ntotal quality %.1f | total cost %.1f | assigned %lld | "
+              "%.4f s/instance\n",
+              s.total_quality, s.total_cost,
+              static_cast<long long>(s.total_assigned), s.avg_cpu_seconds);
+  if (config.use_prediction) {
+    std::printf("prediction error: workers %.1f%%, tasks %.1f%%\n",
+                100.0 * s.avg_worker_prediction_error,
+                100.0 * s.avg_task_prediction_error);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef MQA_COMMON_LOGGING_H_
+#define MQA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mqa {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level below which messages are dropped.
+/// Defaults to kInfo; benchmarks raise it to kWarning to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement when the level is below the threshold.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace mqa
+
+#define MQA_LOG_INTERNAL(level) \
+  ::mqa::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Usage: MQA_LOG(INFO) << "message";
+#define MQA_LOG(severity) MQA_LOG_INTERNAL(::mqa::LogLevel::k##severity)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// internal invariants in database-style code must not be compiled away.
+#define MQA_CHECK(condition)                                     \
+  if (!(condition))                                              \
+  MQA_LOG_INTERNAL(::mqa::LogLevel::kFatal)                      \
+      << "Check failed: " #condition " "
+
+#define MQA_DCHECK(condition) MQA_CHECK(condition)
+
+#endif  // MQA_COMMON_LOGGING_H_

@@ -1,0 +1,65 @@
+#ifndef MQA_COMMON_RESULT_H_
+#define MQA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mqa {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent (Arrow's Result idiom). Accessing the value of an
+/// errored Result is a programming error checked by assert.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mqa
+
+/// Unwraps a Result into `lhs`, propagating a non-OK status to the caller.
+#define MQA_ASSIGN_OR_RETURN(lhs, expr)         \
+  do {                                          \
+    auto _res = (expr);                         \
+    if (!_res.ok()) return _res.status();       \
+    lhs = std::move(_res).value();              \
+  } while (false)
+
+#endif  // MQA_COMMON_RESULT_H_

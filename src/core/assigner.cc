@@ -1,0 +1,103 @@
+#include "core/assigner.h"
+
+#include "core/divide_conquer.h"
+#include "core/exact_assigner.h"
+#include "core/greedy.h"
+#include "core/random_assigner.h"
+
+namespace mqa {
+
+const char* AssignerKindToString(AssignerKind kind) {
+  switch (kind) {
+    case AssignerKind::kGreedy:
+      return "GREEDY";
+    case AssignerKind::kDivideConquer:
+      return "D&C";
+    case AssignerKind::kRandom:
+      return "RANDOM";
+    case AssignerKind::kExact:
+      return "EXACT";
+  }
+  return "?";
+}
+
+namespace {
+
+class GreedyAssigner : public Assigner {
+ public:
+  explicit GreedyAssigner(const AssignerOptions& options)
+      : options_(options) {}
+
+  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    return RunGreedy(instance, options_.delta);
+  }
+
+  const char* name() const override { return "GREEDY"; }
+
+ private:
+  AssignerOptions options_;
+};
+
+class DivideConquerAssigner : public Assigner {
+ public:
+  explicit DivideConquerAssigner(const AssignerOptions& options)
+      : options_(options) {}
+
+  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    return RunDivideConquer(instance, options_.delta, options_.dc_branching);
+  }
+
+  const char* name() const override { return "D&C"; }
+
+ private:
+  AssignerOptions options_;
+};
+
+class RandomAssigner : public Assigner {
+ public:
+  explicit RandomAssigner(const AssignerOptions& options)
+      : options_(options), next_seed_(options.seed) {}
+
+  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    return RunRandom(instance, options_.delta, next_seed_++);
+  }
+
+  const char* name() const override { return "RANDOM"; }
+
+ private:
+  AssignerOptions options_;
+  uint64_t next_seed_;
+};
+
+class ExactAssigner : public Assigner {
+ public:
+  explicit ExactAssigner(const AssignerOptions& options) : options_(options) {}
+
+  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    return RunExact(instance);
+  }
+
+  const char* name() const override { return "EXACT"; }
+
+ private:
+  AssignerOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Assigner> CreateAssigner(AssignerKind kind,
+                                         const AssignerOptions& options) {
+  switch (kind) {
+    case AssignerKind::kGreedy:
+      return std::make_unique<GreedyAssigner>(options);
+    case AssignerKind::kDivideConquer:
+      return std::make_unique<DivideConquerAssigner>(options);
+    case AssignerKind::kRandom:
+      return std::make_unique<RandomAssigner>(options);
+    case AssignerKind::kExact:
+      return std::make_unique<ExactAssigner>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace mqa

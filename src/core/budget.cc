@@ -1,0 +1,50 @@
+#include "core/budget.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/normal.h"
+
+namespace mqa {
+
+namespace {
+// Absolute slack for floating-point budget comparisons.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+BudgetTracker::BudgetTracker(double budget, double delta)
+    : budget_(budget), delta_(delta) {
+  MQA_CHECK(budget >= 0.0) << "negative budget";
+  MQA_CHECK(delta >= 0.0 && delta < 1.0) << "delta must lie in [0, 1)";
+}
+
+bool BudgetTracker::QuickReject(const CandidatePair& pair) const {
+  const double spent =
+      pair.involves_predicted ? future_lb_spent_ : current_spent_;
+  return pair.cost.lb() > budget_ - spent + kEps;
+}
+
+bool BudgetTracker::Admits(const CandidatePair& pair) const {
+  if (!pair.involves_predicted) {
+    return current_spent_ + pair.cost.mean() <= budget_ + kEps;
+  }
+  const double headroom = budget_ - future_lb_spent_;
+  const double var = pair.cost.variance();
+  if (var <= 0.0) {
+    return pair.cost.mean() <= headroom + kEps;
+  }
+  // Eq. 9: rule the pair out when Pr{sum lb + c̃ <= B} <= delta.
+  const double pr =
+      StdNormalCdf((headroom - pair.cost.mean()) / std::sqrt(var));
+  return pr > delta_;
+}
+
+void BudgetTracker::Commit(const CandidatePair& pair) {
+  if (!pair.involves_predicted) {
+    current_spent_ += pair.cost.mean();
+  } else {
+    future_lb_spent_ += pair.cost.lb();
+  }
+}
+
+}  // namespace mqa

@@ -1,0 +1,60 @@
+#include "core/candidate_set.h"
+
+#include "core/comparators.h"
+
+namespace mqa {
+
+CandidateSet::CandidateSet(const std::vector<CandidatePair>& pool)
+    : pool_(pool) {}
+
+bool CandidateSet::Offer(int32_t pair_id) {
+  const CandidatePair& pair = pool_[static_cast<size_t>(pair_id)];
+
+  // Fast path: the cheapest candidate seen so far is the most likely
+  // pruner. GreedySelect offers pairs in descending quality order, so
+  // when the newcomer's expected cost is not below the running minimum
+  // this single check rejects it in O(1), making candidate-set
+  // construction near-linear overall.
+  if (min_cost_id_ >= 0) {
+    const CandidatePair& cheapest =
+        pool_[static_cast<size_t>(min_cost_id_)];
+    if (Dominates(cheapest, pair) ||
+        WeaklyDominatesForPruning(cheapest, pair)) {
+      return false;
+    }
+  }
+
+  // Lines 7-8: reject when any present candidate prunes the newcomer
+  // (Lemma 4.1 bound dominance or the weak Lemma 4.2 variant; see
+  // comparators.h).
+  for (const int32_t cand_id : ids_) {
+    const CandidatePair& cand = pool_[static_cast<size_t>(cand_id)];
+    if (Dominates(cand, pair) || WeaklyDominatesForPruning(cand, pair)) {
+      return false;
+    }
+  }
+
+  // Line 10: the newcomer evicts candidates it prunes.
+  size_t kept = 0;
+  for (size_t k = 0; k < ids_.size(); ++k) {
+    const CandidatePair& cand = pool_[static_cast<size_t>(ids_[k])];
+    if (Dominates(pair, cand) || WeaklyDominatesForPruning(pair, cand)) {
+      continue;  // evicted
+    }
+    ids_[kept++] = ids_[k];
+  }
+  ids_.resize(kept);
+  ids_.push_back(pair_id);
+
+  // Refresh the cheapest-candidate cache (eviction may have removed it).
+  min_cost_id_ = ids_[0];
+  for (const int32_t id : ids_) {
+    if (pool_[static_cast<size_t>(id)].cost.mean() <
+        pool_[static_cast<size_t>(min_cost_id_)].cost.mean()) {
+      min_cost_id_ = id;
+    }
+  }
+  return true;
+}
+
+}  // namespace mqa

@@ -1,0 +1,47 @@
+#ifndef MQA_CORE_CANDIDATE_SET_H_
+#define MQA_CORE_CANDIDATE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/candidate_pair.h"
+
+namespace mqa {
+
+/// The per-iteration candidate set S_p of the greedy algorithm (paper
+/// Fig. 5 lines 4-10): a set of mutually non-dominated pairs maintained
+/// under the Lemma 4.1 bound dominance and Lemma 4.2 probabilistic
+/// dominance prunings.
+///
+/// Offer() implements lines 7-10: a pair enters only if no present
+/// candidate prunes it, and on entry it evicts the candidates it prunes.
+class CandidateSet {
+ public:
+  /// `pool` is the backing pair array; the set stores pair ids into it.
+  explicit CandidateSet(const std::vector<CandidatePair>& pool);
+
+  /// Offers pair `pair_id` to the set. Returns true when the pair was
+  /// admitted (it may still be evicted by a later, better pair).
+  bool Offer(int32_t pair_id);
+
+  /// Ids of the surviving candidate pairs.
+  const std::vector<int32_t>& candidates() const { return ids_; }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  void Clear() {
+    ids_.clear();
+    min_cost_id_ = -1;
+  }
+
+ private:
+  const std::vector<CandidatePair>& pool_;
+  std::vector<int32_t> ids_;
+
+  // Candidate with the lowest expected cost — the O(1) fast-path pruner.
+  int32_t min_cost_id_ = -1;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_CANDIDATE_SET_H_

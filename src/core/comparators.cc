@@ -1,0 +1,70 @@
+#include "core/comparators.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace mqa {
+
+double ProbGreater(const Uncertain& a, const Uncertain& b) {
+  const double var_sum = a.variance() + b.variance();
+  const double diff = a.mean() - b.mean();
+  if (var_sum <= 0.0) {
+    if (diff > 0.0) return 1.0;
+    if (diff < 0.0) return 0.0;
+    return 0.5;
+  }
+  // Pr{A - B > 0} with A - B ~ N(diff, var_sum).
+  return 1.0 - StdNormalCdf(-diff / std::sqrt(var_sum));
+}
+
+double ProbLessEq(const Uncertain& a, const Uncertain& b) {
+  const double var_sum = a.variance() + b.variance();
+  const double diff = a.mean() - b.mean();
+  if (var_sum <= 0.0) {
+    if (diff < 0.0) return 1.0;
+    if (diff > 0.0) return 0.0;
+    return 0.5;
+  }
+  return StdNormalCdf(-diff / std::sqrt(var_sum));
+}
+
+double ProbQualityGreater(const CandidatePair& a, const CandidatePair& b) {
+  return ProbGreater(a.EffectiveQuality(), b.EffectiveQuality());
+}
+
+double ProbCostLessEq(const CandidatePair& a, const CandidatePair& b) {
+  return ProbLessEq(a.cost, b.cost);
+}
+
+bool Dominates(const CandidatePair& a, const CandidatePair& b) {
+  return a.cost.ub() < b.cost.lb() &&
+         a.EffectiveQuality().lb() > b.EffectiveQuality().ub();
+}
+
+// For the normal/CLT approximation the comparison probability crosses 0.5
+// exactly at equal means: Pr{A > B} = Phi((E(A)-E(B)) / sqrt(Var+Var)),
+// so Pr > 0.5 <=> E(A) > E(B). The dominance predicates below therefore
+// reduce to mean comparisons — no CDF evaluations in the pruning hot loop.
+
+bool ProbabilisticallyDominates(const CandidatePair& a,
+                                const CandidatePair& b) {
+  return a.EffectiveQuality().mean() > b.EffectiveQuality().mean() &&
+         a.cost.mean() < b.cost.mean();
+}
+
+bool WeaklyDominatesForPruning(const CandidatePair& a,
+                               const CandidatePair& b) {
+  const double qa = a.EffectiveQuality().mean();
+  const double qb = b.EffectiveQuality().mean();
+  const double ca = a.cost.mean();
+  const double cb = b.cost.mean();
+  if (qa < qb || ca > cb) return false;
+  if (qa > qb || ca < cb) return true;
+  // Exact tie on both means: prune only true moment duplicates (the kept
+  // representative is interchangeable with the newcomer).
+  return a.cost.variance() == b.cost.variance() &&
+         a.EffectiveQuality().variance() == b.EffectiveQuality().variance();
+}
+
+}  // namespace mqa

@@ -1,0 +1,33 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mqa {
+
+double DcCostDerivative(double num_tasks, double deg_t, double g) {
+  const double m = num_tasks;
+  const double log_m = std::log(m);
+  const double log_g = std::log(g);
+  const double term1 = m * log_m *
+                       (g * log_g - g - 1.0 - 2.0 * deg_t * deg_t) /
+                       (g * log_g * log_g);
+  const double g2m1 = g * g - 1.0;
+  const double term2 = 4.0 * g * (m * m - 1.0) / (g2m1 * g2m1);
+  return term1 - term2;
+}
+
+int EstimateBestBranching(int64_t num_tasks, double deg_t, int max_g) {
+  if (num_tasks <= 2) return 2;
+  const int limit = static_cast<int>(
+      std::min<int64_t>(max_g, num_tasks));
+  for (int g = 2; g <= limit; ++g) {
+    if (DcCostDerivative(static_cast<double>(num_tasks), deg_t,
+                         static_cast<double>(g)) >= 0.0) {
+      return g;
+    }
+  }
+  return std::max(2, limit);
+}
+
+}  // namespace mqa

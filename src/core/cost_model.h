@@ -1,0 +1,23 @@
+#ifndef MQA_CORE_COST_MODEL_H_
+#define MQA_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace mqa {
+
+/// Derivative of the Appendix-C divide-and-conquer cost model with respect
+/// to the branching factor g (paper Eq. 13):
+///   d cost / d g = m' ln(m') (g ln g - g - 1 - 2 deg_t^2) / (g ln^2 g)
+///                  - 4 g (m'^2 - 1) / (g^2 - 1)^2
+/// with m' tasks and deg_t average valid workers per task.
+double DcCostDerivative(double num_tasks, double deg_t, double g);
+
+/// The paper's procedure for choosing g: starting at g = 2 (where the
+/// derivative is strongly negative), try successive integers until the
+/// derivative turns non-negative; that integer minimizes the modeled cost.
+/// The result is clamped to [2, max_g] and never exceeds the task count.
+int EstimateBestBranching(int64_t num_tasks, double deg_t, int max_g = 64);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_COST_MODEL_H_

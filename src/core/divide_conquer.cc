@@ -1,0 +1,115 @@
+#include "core/divide_conquer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/budget.h"
+#include "core/cost_model.h"
+#include "core/decomposition.h"
+#include "core/greedy.h"
+#include "core/merge.h"
+#include "core/valid_pairs.h"
+
+namespace mqa {
+
+namespace {
+
+// Average number of valid workers per task within one subproblem.
+double SubproblemDegree(const Subproblem& sub) {
+  if (sub.task_indices.empty()) return 0.0;
+  return static_cast<double>(sub.pair_ids.size()) /
+         static_cast<double>(sub.task_indices.size());
+}
+
+// Greedy over exactly the pairs of `pair_ids` with fresh state; used for
+// leaf subproblems and for the budget-constrained reselection.
+std::vector<int32_t> GreedyOver(const ProblemInstance& instance,
+                                const PairPool& pool,
+                                const std::vector<int32_t>& pair_ids,
+                                double delta) {
+  std::vector<char> worker_used(instance.workers().size(), 0);
+  std::vector<char> task_used(instance.tasks().size(), 0);
+  BudgetTracker budget(instance.budget(), delta);
+  std::vector<int32_t> selected;
+  GreedySelect(pool, pair_ids, &worker_used, &task_used, &budget, &selected);
+  return selected;
+}
+
+// True when the selected set's cost upper bounds respect both budget pots
+// (current-instance pot and next-instance pot of size B each).
+bool WithinBudgetUpperBound(const PairPool& pool,
+                            const std::vector<int32_t>& selected,
+                            double budget) {
+  double current_ub = 0.0;
+  double future_ub = 0.0;
+  for (const int32_t id : selected) {
+    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
+    (p.involves_predicted ? future_ub : current_ub) += p.cost.ub();
+  }
+  constexpr double kEps = 1e-9;
+  return current_ub <= budget + kEps && future_ub <= budget + kEps;
+}
+
+// Recursive MQA_D&C over one subproblem.
+std::vector<int32_t> SolveRecursive(const ProblemInstance& instance,
+                                    const PairPool& pool,
+                                    const Subproblem& problem, double delta,
+                                    int branching, int depth) {
+  MQA_CHECK(depth < 64) << "divide-and-conquer recursion too deep";
+  if (problem.task_indices.empty()) return {};
+  if (problem.num_tasks() == 1) {
+    // Leaf: pick the best worker for the single task greedily (Fig. 9
+    // line 8).
+    return GreedyOver(instance, pool, problem.pair_ids, delta);
+  }
+
+  const int g =
+      branching > 0
+          ? branching
+          : EstimateBestBranching(static_cast<int64_t>(problem.num_tasks()),
+                                  SubproblemDegree(problem));
+  const std::vector<Subproblem> subproblems =
+      DecomposeTasks(instance, pool, problem.task_indices, g);
+
+  std::vector<int32_t> merged;
+  for (const Subproblem& sub : subproblems) {
+    std::vector<int32_t> result =
+        sub.num_tasks() > 1
+            ? SolveRecursive(instance, pool, sub, delta, branching, depth + 1)
+            : GreedyOver(instance, pool, sub.pair_ids, delta);
+    MergeResults(pool, &merged, result);
+  }
+
+  // Fig. 9 lines 12-15: budget adjustment.
+  if (WithinBudgetUpperBound(pool, merged, instance.budget())) {
+    return merged;
+  }
+  return GreedyOver(instance, pool, merged, delta);
+}
+
+}  // namespace
+
+AssignmentResult RunDivideConquer(const ProblemInstance& instance,
+                                  double delta, int branching) {
+  const PairPool pool = BuildPairPool(instance);
+
+  Subproblem root;
+  for (size_t j = 0; j < instance.tasks().size(); ++j) {
+    if (pool.pairs_by_task[j].empty()) continue;
+    root.task_indices.push_back(static_cast<int32_t>(j));
+    root.pair_ids.insert(root.pair_ids.end(), pool.pairs_by_task[j].begin(),
+                         pool.pairs_by_task[j].end());
+  }
+
+  std::vector<int32_t> selected =
+      SolveRecursive(instance, pool, root, delta, branching, /*depth=*/0);
+
+  // The merge phase does not re-check budgets after replacements; enforce
+  // the hard constraint once at the top before emitting.
+  if (!WithinBudgetUpperBound(pool, selected, instance.budget())) {
+    selected = GreedyOver(instance, pool, selected, delta);
+  }
+  return EmitCurrentPairs(instance, pool, selected);
+}
+
+}  // namespace mqa

@@ -1,0 +1,95 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/candidate_set.h"
+#include "core/selection.h"
+
+namespace mqa {
+
+void GreedySelect(const PairPool& pool, const std::vector<int32_t>& pair_ids,
+                  std::vector<char>* worker_used, std::vector<char>* task_used,
+                  BudgetTracker* budget, std::vector<int32_t>* selected) {
+  std::vector<int32_t> active = pair_ids;
+  // Offer strong pairs first: the candidate set then rejects most later
+  // offers on their first dominance check, which keeps each greedy
+  // iteration close to linear in |active|.
+  std::sort(active.begin(), active.end(), [&pool](int32_t a, int32_t b) {
+    const CandidatePair& pa = pool.pairs[static_cast<size_t>(a)];
+    const CandidatePair& pb = pool.pairs[static_cast<size_t>(b)];
+    const double qa = pa.EffectiveQuality().mean();
+    const double qb = pb.EffectiveQuality().mean();
+    if (qa != qb) return qa > qb;
+    const double ca = pa.cost.mean();
+    const double cb = pb.cost.mean();
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  CandidateSet sp(pool.pairs);
+
+  while (!active.empty()) {
+    // Compact: drop pairs whose endpoints were consumed or whose
+    // lower-bound cost can no longer fit (the budget only shrinks, so a
+    // quick-rejected pair stays rejected).
+    size_t kept = 0;
+    for (size_t k = 0; k < active.size(); ++k) {
+      const CandidatePair& pair = pool.pairs[static_cast<size_t>(active[k])];
+      if ((*worker_used)[static_cast<size_t>(pair.worker_index)] ||
+          (*task_used)[static_cast<size_t>(pair.task_index)] ||
+          budget->QuickReject(pair)) {
+        continue;
+      }
+      active[kept++] = active[k];
+    }
+    active.resize(kept);
+    if (active.empty()) break;
+
+    // Lines 4-10: pruned candidate set over the active pairs.
+    sp.Clear();
+    for (const int32_t id : active) sp.Offer(id);
+
+    // Lines 11-12: Eq. 9 + Eq. 10 selection.
+    const int32_t best = SelectBestPair(pool.pairs, sp.candidates(), *budget);
+    if (best < 0) break;
+
+    const CandidatePair& chosen = pool.pairs[static_cast<size_t>(best)];
+    budget->Commit(chosen);
+    (*worker_used)[static_cast<size_t>(chosen.worker_index)] = 1;
+    (*task_used)[static_cast<size_t>(chosen.task_index)] = 1;
+    selected->push_back(best);
+  }
+}
+
+AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
+                                  const PairPool& pool,
+                                  const std::vector<int32_t>& selected) {
+  (void)instance;
+  AssignmentResult result;
+  for (const int32_t id : selected) {
+    const CandidatePair& pair = pool.pairs[static_cast<size_t>(id)];
+    if (pair.involves_predicted) continue;  // line 14
+    result.pairs.push_back({pair.worker_index, pair.task_index});
+    result.total_cost += pair.cost.mean();
+    result.total_quality += pair.quality.mean();
+  }
+  return result;
+}
+
+AssignmentResult RunGreedy(const ProblemInstance& instance, double delta) {
+  const PairPool pool = BuildPairPool(instance);
+  std::vector<char> worker_used(instance.workers().size(), 0);
+  std::vector<char> task_used(instance.tasks().size(), 0);
+  BudgetTracker budget(instance.budget(), delta);
+
+  std::vector<int32_t> all_ids(pool.pairs.size());
+  for (size_t i = 0; i < all_ids.size(); ++i) {
+    all_ids[i] = static_cast<int32_t>(i);
+  }
+
+  std::vector<int32_t> selected;
+  GreedySelect(pool, all_ids, &worker_used, &task_used, &budget, &selected);
+  return EmitCurrentPairs(instance, pool, selected);
+}
+
+}  // namespace mqa

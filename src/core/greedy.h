@@ -1,0 +1,44 @@
+#ifndef MQA_CORE_GREEDY_H_
+#define MQA_CORE_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/valid_pairs.h"
+#include "model/assignment.h"
+#include "model/problem_instance.h"
+
+namespace mqa {
+
+/// The greedy selection loop shared by MQA_Greedy (paper Fig. 5), the
+/// divide-and-conquer leaf case, and MQA_Budget_Constrained_Selection
+/// (paper Fig. 9 lines 17-28).
+///
+/// Repeatedly builds the pruned candidate set S_p over the still-active
+/// pairs of `pair_ids` (skipping pairs whose worker or task is already
+/// used and pairs failing the line-6 quick budget check), selects the
+/// Eq. 10 best admissible pair, commits it against `budget`, and marks
+/// its endpoints used. Stops when no pair is admissible.
+///
+/// Selected pair ids are appended to `selected`. `worker_used` /
+/// `task_used` must be sized to the instance's worker/task vectors.
+void GreedySelect(const PairPool& pool, const std::vector<int32_t>& pair_ids,
+                  std::vector<char>* worker_used, std::vector<char>* task_used,
+                  BudgetTracker* budget, std::vector<int32_t>* selected);
+
+/// Converts selected pool pairs into an AssignmentResult, keeping only
+/// current-current pairs (paper Fig. 5 line 14) and accumulating their
+/// fixed costs and qualities.
+AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
+                                  const PairPool& pool,
+                                  const std::vector<int32_t>& selected);
+
+/// MQA_Greedy end-to-end: build the pair pool over current and predicted
+/// entities, run the greedy loop with a fresh budget tracker (two pots of
+/// B, Eq. 9 confidence `delta`), and emit the current-current pairs.
+AssignmentResult RunGreedy(const ProblemInstance& instance, double delta);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_GREEDY_H_

@@ -1,0 +1,84 @@
+#include "core/valid_pairs.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "prediction/pair_stats.h"
+#include "quality/quality_model.h"
+#include "stats/distance_stats.h"
+
+namespace mqa {
+
+double PairPool::AvgWorkersPerTask() const {
+  int64_t tasks_with_pairs = 0;
+  int64_t total = 0;
+  for (const auto& list : pairs_by_task) {
+    if (!list.empty()) {
+      ++tasks_with_pairs;
+      total += static_cast<int64_t>(list.size());
+    }
+  }
+  if (tasks_with_pairs == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(tasks_with_pairs);
+}
+
+PairPool BuildPairPool(const ProblemInstance& instance,
+                       bool include_predicted) {
+  const QualityModel* model = instance.quality_model();
+  MQA_CHECK(model != nullptr) << "instance lacks a quality model";
+
+  PairPool pool;
+  const size_t num_workers =
+      include_predicted ? instance.workers().size()
+                        : instance.num_current_workers();
+  const size_t num_tasks = include_predicted ? instance.tasks().size()
+                                             : instance.num_current_tasks();
+  pool.pairs_by_task.resize(instance.tasks().size());
+  pool.pairs_by_worker.resize(instance.workers().size());
+
+  // Sample statistics of current pairs drive the predicted-pair quality
+  // distributions; only needed when predicted entities participate.
+  const bool has_predicted =
+      include_predicted && (instance.num_predicted_workers() > 0 ||
+                            instance.num_predicted_tasks() > 0);
+  std::unique_ptr<PairStatistics> stats;
+  if (has_predicted) stats = std::make_unique<PairStatistics>(instance);
+
+  for (size_t i = 0; i < num_workers; ++i) {
+    const Worker& w = instance.workers()[i];
+    for (size_t j = 0; j < num_tasks; ++j) {
+      const Task& t = instance.tasks()[j];
+      if (!instance.CanReach(w, t)) continue;
+
+      CandidatePair pair;
+      pair.worker_index = static_cast<int32_t>(i);
+      pair.task_index = static_cast<int32_t>(j);
+      pair.involves_predicted = w.predicted || t.predicted;
+      pair.cost = DistanceBetween(w.location, t.location)
+                      .AffineTransform(instance.unit_price(), 0.0);
+
+      if (!pair.involves_predicted) {
+        pair.quality = Uncertain::Fixed(model->Score(w, t));
+        pair.existence = 1.0;
+      } else if (w.predicted && !t.predicted) {
+        pair.quality = stats->QualityCase1(pair.task_index);
+        pair.existence = stats->ExistenceCase1(pair.task_index);
+      } else if (!w.predicted && t.predicted) {
+        pair.quality = stats->QualityCase2(pair.worker_index);
+        pair.existence = stats->ExistenceCase2(pair.worker_index);
+      } else {
+        pair.quality = stats->QualityCase3();
+        pair.existence = stats->ExistenceCase3();
+      }
+      pair.FinalizeEffectiveQuality();
+
+      const int32_t pair_id = static_cast<int32_t>(pool.pairs.size());
+      pool.pairs.push_back(pair);
+      pool.pairs_by_task[j].push_back(pair_id);
+      pool.pairs_by_worker[i].push_back(pair_id);
+    }
+  }
+  return pool;
+}
+
+}  // namespace mqa

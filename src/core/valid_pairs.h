@@ -1,0 +1,42 @@
+#ifndef MQA_CORE_VALID_PAIRS_H_
+#define MQA_CORE_VALID_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/candidate_pair.h"
+#include "model/problem_instance.h"
+
+namespace mqa {
+
+/// All valid worker-and-task pairs of a ProblemInstance (the list L of the
+/// greedy algorithm, paper Fig. 5 line 2), with per-task and per-worker
+/// adjacency for decomposition and merge.
+struct PairPool {
+  std::vector<CandidatePair> pairs;
+
+  /// pairs_by_task[j] lists the indices into `pairs` whose task_index is j
+  /// (size = number of tasks in the instance, current + predicted).
+  std::vector<std::vector<int32_t>> pairs_by_task;
+
+  /// pairs_by_worker[i] lists indices into `pairs` for worker i.
+  std::vector<std::vector<int32_t>> pairs_by_worker;
+
+  /// Average number of valid workers per task with at least one valid
+  /// pair (deg_t in the Appendix C cost model).
+  double AvgWorkersPerTask() const;
+};
+
+/// Enumerates valid pairs and attaches cost/quality/existence statistics:
+///  * current-current: fixed cost C*dist and fixed quality from the
+///    instance's QualityModel;
+///  * pairs involving predicted entities (only when `include_predicted`):
+///    cost from the closed-form box-distance statistics, quality and
+///    existence from PairStatistics Cases 1-3 (paper Section III-B).
+/// Validity is the reachability test ProblemInstance::CanReach.
+PairPool BuildPairPool(const ProblemInstance& instance,
+                       bool include_predicted = true);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_VALID_PAIRS_H_

@@ -1,0 +1,57 @@
+#include "geo/bbox.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+BBox::BBox(Point lo, Point hi) : lo_(lo), hi_(hi) {
+  MQA_CHECK(lo.x <= hi.x && lo.y <= hi.y)
+      << "invalid BBox [" << lo << ", " << hi << "]";
+}
+
+BBox BBox::KernelBox(const Point& center, double hx, double hy) {
+  MQA_CHECK(hx >= 0.0 && hy >= 0.0) << "negative bandwidth";
+  Point lo{std::max(0.0, center.x - hx), std::max(0.0, center.y - hy)};
+  Point hi{std::min(1.0, center.x + hx), std::min(1.0, center.y + hy)};
+  // A center outside [0,1]^2 would produce an inverted interval; clamp.
+  if (lo.x > hi.x) lo.x = hi.x = std::clamp(center.x, 0.0, 1.0);
+  if (lo.y > hi.y) lo.y = hi.y = std::clamp(center.y, 0.0, 1.0);
+  return BBox(lo, hi);
+}
+
+namespace {
+
+// Distance between intervals [a1,a2] and [b1,b2] along one axis; 0 if they
+// overlap.
+double IntervalGap(double a1, double a2, double b1, double b2) {
+  if (a2 < b1) return b1 - a2;
+  if (b2 < a1) return a1 - b2;
+  return 0.0;
+}
+
+// Largest coordinate difference achievable between the two intervals.
+double IntervalSpan(double a1, double a2, double b1, double b2) {
+  return std::max(std::abs(a2 - b1), std::abs(b2 - a1));
+}
+
+}  // namespace
+
+double BBox::MinDistance(const BBox& other) const {
+  const double dx = IntervalGap(lo_.x, hi_.x, other.lo_.x, other.hi_.x);
+  const double dy = IntervalGap(lo_.y, hi_.y, other.lo_.y, other.hi_.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double BBox::MaxDistance(const BBox& other) const {
+  const double dx = IntervalSpan(lo_.x, hi_.x, other.lo_.x, other.hi_.x);
+  const double dy = IntervalSpan(lo_.y, hi_.y, other.lo_.y, other.hi_.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::ostream& operator<<(std::ostream& os, const BBox& box) {
+  return os << "[" << box.lo() << " - " << box.hi() << "]";
+}
+
+}  // namespace mqa

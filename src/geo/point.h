@@ -1,0 +1,41 @@
+#ifndef MQA_GEO_POINT_H_
+#define MQA_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace mqa {
+
+/// A point in the unit data space U = [0,1]^2 (paper Section III-A).
+/// Plain value type; coordinates outside the unit square are permitted for
+/// intermediate computations but workloads always generate inside it.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance (the paper's dist(x, y), Section II-C).
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace mqa
+
+#endif  // MQA_GEO_POINT_H_

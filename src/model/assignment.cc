@@ -1,0 +1,64 @@
+#include "model/assignment.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "quality/quality_model.h"
+
+namespace mqa {
+
+Status ValidateAssignment(const ProblemInstance& instance,
+                          const AssignmentResult& result, double epsilon) {
+  std::unordered_set<int32_t> seen_workers;
+  std::unordered_set<int32_t> seen_tasks;
+  double cost = 0.0;
+  double quality = 0.0;
+
+  for (const Assignment& a : result.pairs) {
+    if (a.worker_index < 0 ||
+        static_cast<size_t>(a.worker_index) >= instance.workers().size()) {
+      return Status::OutOfRange("worker index out of range");
+    }
+    if (a.task_index < 0 ||
+        static_cast<size_t>(a.task_index) >= instance.tasks().size()) {
+      return Status::OutOfRange("task index out of range");
+    }
+    if (!instance.IsCurrentWorker(a.worker_index)) {
+      return Status::FailedPrecondition(
+          "assignment references a predicted worker");
+    }
+    if (!instance.IsCurrentTask(a.task_index)) {
+      return Status::FailedPrecondition(
+          "assignment references a predicted task");
+    }
+    if (!seen_workers.insert(a.worker_index).second) {
+      return Status::FailedPrecondition("worker assigned to multiple tasks");
+    }
+    if (!seen_tasks.insert(a.task_index).second) {
+      return Status::FailedPrecondition("task assigned to multiple workers");
+    }
+
+    const Worker& w = instance.workers()[a.worker_index];
+    const Task& t = instance.tasks()[a.task_index];
+    if (!instance.CanReach(w, t)) {
+      return Status::FailedPrecondition(
+          "worker cannot reach task before its deadline");
+    }
+    const double dist = Distance(w.Center(), t.Center());
+    cost += instance.unit_price() * dist;
+    quality += instance.quality_model()->Score(w, t);
+  }
+
+  if (cost > instance.budget() + epsilon) {
+    return Status::FailedPrecondition("assignment exceeds budget");
+  }
+  if (std::abs(cost - result.total_cost) > epsilon * (1.0 + cost)) {
+    return Status::Internal("reported total_cost mismatch");
+  }
+  if (std::abs(quality - result.total_quality) > epsilon * (1.0 + quality)) {
+    return Status::Internal("reported total_quality mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace mqa

@@ -1,0 +1,47 @@
+#ifndef MQA_MODEL_ASSIGNMENT_H_
+#define MQA_MODEL_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/problem_instance.h"
+
+namespace mqa {
+
+/// One selected worker-and-task pair (indices into a ProblemInstance).
+struct Assignment {
+  int32_t worker_index = -1;
+  int32_t task_index = -1;
+
+  friend bool operator==(const Assignment& a, const Assignment& b) {
+    return a.worker_index == b.worker_index && a.task_index == b.task_index;
+  }
+};
+
+/// The task assignment instance set I_p produced by an assigner (paper
+/// Def. 3) restricted to current-current pairs, plus its realized totals.
+struct AssignmentResult {
+  std::vector<Assignment> pairs;
+
+  /// Sum of fixed quality scores q_ij of the emitted pairs.
+  double total_quality = 0.0;
+
+  /// Sum of fixed traveling costs c_ij of the emitted pairs.
+  double total_cost = 0.0;
+};
+
+/// Checks Def. 3/4 invariants of `result` against `instance`:
+///  * every pair references a *current* worker and a *current* task;
+///  * no worker and no task appears twice;
+///  * every pair is reachable before its deadline;
+///  * total cost does not exceed the instance budget (within `epsilon`);
+///  * the reported totals match a recomputation from the quality model.
+/// Returns the first violation found.
+Status ValidateAssignment(const ProblemInstance& instance,
+                          const AssignmentResult& result,
+                          double epsilon = 1e-6);
+
+}  // namespace mqa
+
+#endif  // MQA_MODEL_ASSIGNMENT_H_

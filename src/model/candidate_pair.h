@@ -1,0 +1,58 @@
+#ifndef MQA_MODEL_CANDIDATE_PAIR_H_
+#define MQA_MODEL_CANDIDATE_PAIR_H_
+
+#include <cstdint>
+
+#include "stats/uncertain.h"
+
+namespace mqa {
+
+/// A valid worker-and-task assignment pair <w̃_i, t̃_j> over current or
+/// predicted entities (paper Section III-B). Indices refer to the worker
+/// and task vectors of the ProblemInstance the pair was built from.
+struct CandidatePair {
+  int32_t worker_index = -1;
+  int32_t task_index = -1;
+
+  /// Traveling cost c̃_ij = C * dist. Fixed for current-current pairs;
+  /// a random variable otherwise.
+  Uncertain cost;
+
+  /// Quality score q̃_ij. Fixed for current-current pairs; a sample-based
+  /// random variable otherwise (Cases 1-3).
+  Uncertain quality;
+
+  /// Existence probability p̂_ij of the pair (1 for current-current pairs).
+  double existence = 1.0;
+
+  /// True when either endpoint is predicted.
+  bool involves_predicted = false;
+
+  /// The quality increase used in Eq. 7/10 comparisons. Following the
+  /// paper's pseudo-code this is the *raw* quality distribution — the
+  /// existence probability p̂ is reported but not folded in (an
+  /// unfulfilled reservation only delays a task, which carries over to
+  /// the next instance, so thinning would systematically under-rank
+  /// predicted pairs and suppress the WP-over-WoP steering effect; see
+  /// DESIGN.md §3.3). ExistenceThinnedQuality() exposes the thinned
+  /// variant for callers that want the conservative ranking. Cached at
+  /// pair-build time because comparisons sit in the greedy inner loop.
+  const Uncertain& EffectiveQuality() const { return effective_quality_; }
+
+  /// The quality thinned by an independent Bernoulli(existence) trial —
+  /// the conservative interpretation of p̂_ij.
+  Uncertain ExistenceThinnedQuality() const {
+    return involves_predicted ? quality.BernoulliThin(existence) : quality;
+  }
+
+  /// Recomputes the cached effective quality; the pair builder calls this
+  /// after filling quality/existence.
+  void FinalizeEffectiveQuality() { effective_quality_ = quality; }
+
+ private:
+  Uncertain effective_quality_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_MODEL_CANDIDATE_PAIR_H_

@@ -1,0 +1,85 @@
+#ifndef MQA_MODEL_PROBLEM_INSTANCE_H_
+#define MQA_MODEL_PROBLEM_INSTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "model/task.h"
+#include "model/types.h"
+#include "model/worker.h"
+
+namespace mqa {
+
+class QualityModel;
+
+/// One-shot input to an MQA assigner: the current workers W_p and tasks
+/// T_p, plus (optionally) the predicted workers Ŵ_{p+1} and tasks T̂_{p+1},
+/// together with the budget parameters of Def. 4.
+///
+/// Workers are stored current-first: indices [0, num_current_workers) are
+/// current, the rest predicted; likewise for tasks. The quality model maps
+/// any (worker, task) pair of *current* entities to its fixed score q_ij;
+/// scores of pairs involving predicted entities are estimated from current
+/// samples (paper Section III-B) by the pair builder, not by the model.
+class ProblemInstance {
+ public:
+  ProblemInstance() = default;
+
+  /// Builds an instance. `quality` must outlive the instance.
+  ProblemInstance(std::vector<Worker> workers, size_t num_current_workers,
+                  std::vector<Task> tasks, size_t num_current_tasks,
+                  const QualityModel* quality, double unit_price,
+                  double budget);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  size_t num_current_workers() const { return num_current_workers_; }
+  size_t num_current_tasks() const { return num_current_tasks_; }
+  size_t num_predicted_workers() const {
+    return workers_.size() - num_current_workers_;
+  }
+  size_t num_predicted_tasks() const {
+    return tasks_.size() - num_current_tasks_;
+  }
+
+  bool IsCurrentWorker(int32_t index) const {
+    return static_cast<size_t>(index) < num_current_workers_;
+  }
+  bool IsCurrentTask(int32_t index) const {
+    return static_cast<size_t>(index) < num_current_tasks_;
+  }
+
+  const QualityModel* quality_model() const { return quality_; }
+
+  /// Unit price C per distance unit (paper Section II-C).
+  double unit_price() const { return unit_price_; }
+
+  /// Per-instance traveling budget B (paper Def. 4 condition 2).
+  double budget() const { return budget_; }
+
+  /// True when a worker moving at `worker.velocity` from somewhere in the
+  /// worker's location box can reach the task's location before its
+  /// deadline. Predicted boxes use the optimistic (minimum) distance so
+  /// that possibly-valid pairs are kept; the existence probability models
+  /// the risk (see DESIGN.md §3).
+  bool CanReach(const Worker& worker, const Task& task) const;
+
+  /// Validates internal consistency (ordering of current vs predicted,
+  /// non-negative parameters). Returns a descriptive error on violation.
+  Status Validate() const;
+
+ private:
+  std::vector<Worker> workers_;
+  std::vector<Task> tasks_;
+  size_t num_current_workers_ = 0;
+  size_t num_current_tasks_ = 0;
+  const QualityModel* quality_ = nullptr;
+  double unit_price_ = 1.0;
+  double budget_ = 0.0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_MODEL_PROBLEM_INSTANCE_H_

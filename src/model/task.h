@@ -1,0 +1,39 @@
+#ifndef MQA_MODEL_TASK_H_
+#define MQA_MODEL_TASK_H_
+
+#include <ostream>
+
+#include "geo/bbox.h"
+#include "model/types.h"
+
+namespace mqa {
+
+/// A time-constrained spatial task (paper Def. 2). A *current* task has a
+/// deterministic location; a *predicted* task t̂ has a uniform-kernel box.
+struct Task {
+  TaskId id = -1;
+
+  /// Location (or location distribution).
+  BBox location;
+
+  /// Remaining time e_j for a worker to arrive at the task's location,
+  /// counted from the instance at which the task is considered.
+  double deadline = 0.0;
+
+  /// Instance at which the task joined (or is predicted to join).
+  Timestamp arrival = 0;
+
+  /// True for predicted (future) tasks t̂_j.
+  bool predicted = false;
+
+  Point Center() const { return location.Center(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Task& t) {
+  return os << (t.predicted ? "t̂" : "t") << t.id << "@" << t.location
+            << " e=" << t.deadline;
+}
+
+}  // namespace mqa
+
+#endif  // MQA_MODEL_TASK_H_

@@ -1,0 +1,24 @@
+#ifndef MQA_MODEL_TYPES_H_
+#define MQA_MODEL_TYPES_H_
+
+#include <cstdint>
+
+namespace mqa {
+
+/// Stable identifier of a worker across time instances.
+using WorkerId = int64_t;
+
+/// Stable identifier of a task across time instances.
+using TaskId = int64_t;
+
+/// Discrete time-instance index p in the instance set P (paper Def. 4).
+/// One instance spans one unit of continuous time: deadlines and travel
+/// times are expressed in the same unit.
+using Timestamp = int64_t;
+
+/// Duration of one time instance in continuous-time units.
+inline constexpr double kInstanceDuration = 1.0;
+
+}  // namespace mqa
+
+#endif  // MQA_MODEL_TYPES_H_

@@ -1,0 +1,33 @@
+#include "prediction/count_history.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+CountHistory::CountHistory(int num_cells, int window)
+    : num_cells_(num_cells), window_(window),
+      windows_(static_cast<size_t>(num_cells)) {
+  MQA_CHECK(num_cells >= 1) << "need at least one cell";
+  MQA_CHECK(window >= 1) << "window must be positive";
+}
+
+void CountHistory::Push(const std::vector<int64_t>& counts) {
+  MQA_CHECK(counts.size() == static_cast<size_t>(num_cells_))
+      << "count vector size mismatch";
+  for (int c = 0; c < num_cells_; ++c) {
+    auto& win = windows_[static_cast<size_t>(c)];
+    win.push_back(counts[static_cast<size_t>(c)]);
+    if (static_cast<int>(win.size()) > window_) win.pop_front();
+  }
+  filled_ = std::min<int64_t>(filled_ + 1, window_);
+}
+
+std::vector<double> CountHistory::Series(int cell) const {
+  MQA_CHECK(cell >= 0 && cell < num_cells_) << "cell out of range";
+  const auto& win = windows_[static_cast<size_t>(cell)];
+  return std::vector<double>(win.begin(), win.end());
+}
+
+}  // namespace mqa

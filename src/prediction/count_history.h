@@ -1,0 +1,41 @@
+#ifndef MQA_PREDICTION_COUNT_HISTORY_H_
+#define MQA_PREDICTION_COUNT_HISTORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mqa {
+
+/// Per-cell sliding windows of arrival counts: the w latest counts
+/// |X^(i)_{p-w+1}|, ..., |X^(i)_p| for every cell (paper Section III-A).
+/// One CountHistory instance tracks one entity kind (workers or tasks).
+class CountHistory {
+ public:
+  /// `num_cells` grid cells, windows capped at `window` observations.
+  CountHistory(int num_cells, int window);
+
+  /// Appends one instance's per-cell counts (size must equal num_cells),
+  /// evicting counts that fall out of the window.
+  void Push(const std::vector<int64_t>& counts);
+
+  /// Number of observations currently held (<= window).
+  int size() const { return static_cast<int>(filled_); }
+
+  int window() const { return window_; }
+  int num_cells() const { return num_cells_; }
+
+  /// The retained count series of `cell`, oldest first.
+  std::vector<double> Series(int cell) const;
+
+ private:
+  int num_cells_;
+  int window_;
+  int64_t filled_ = 0;
+  // Ring buffer: windows_[cell] holds up to `window_` recent counts.
+  std::vector<std::deque<int64_t>> windows_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_PREDICTION_COUNT_HISTORY_H_

@@ -1,0 +1,58 @@
+#include "prediction/count_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/linear_regression.h"
+
+namespace mqa {
+
+namespace {
+
+int64_t RoundNonNegative(double v) {
+  return std::max<int64_t>(0, static_cast<int64_t>(std::llround(v)));
+}
+
+class LinearRegressionPredictor : public CountPredictor {
+ public:
+  int64_t PredictNext(const std::vector<double>& series) const override {
+    if (series.empty()) return 0;
+    const LinearRegression fit = LinearRegression::FitSeries(series);
+    return RoundNonNegative(
+        fit.PredictNext(static_cast<int64_t>(series.size())));
+  }
+};
+
+class LastValuePredictor : public CountPredictor {
+ public:
+  int64_t PredictNext(const std::vector<double>& series) const override {
+    if (series.empty()) return 0;
+    return RoundNonNegative(series.back());
+  }
+};
+
+class MovingAveragePredictor : public CountPredictor {
+ public:
+  int64_t PredictNext(const std::vector<double>& series) const override {
+    if (series.empty()) return 0;
+    const double sum = std::accumulate(series.begin(), series.end(), 0.0);
+    return RoundNonNegative(sum / static_cast<double>(series.size()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CountPredictor> MakeLinearRegressionPredictor() {
+  return std::make_unique<LinearRegressionPredictor>();
+}
+
+std::unique_ptr<CountPredictor> MakeLastValuePredictor() {
+  return std::make_unique<LastValuePredictor>();
+}
+
+std::unique_ptr<CountPredictor> MakeMovingAveragePredictor() {
+  return std::make_unique<MovingAveragePredictor>();
+}
+
+}  // namespace mqa

@@ -1,0 +1,80 @@
+#include "prediction/pair_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "quality/quality_model.h"
+
+namespace mqa {
+
+PairStatistics::PairStatistics(const ProblemInstance& instance)
+    : num_current_workers_(instance.num_current_workers()),
+      num_current_tasks_(instance.num_current_tasks()),
+      per_task_(instance.num_current_tasks()),
+      per_worker_(instance.num_current_workers()) {
+  const QualityModel* model = instance.quality_model();
+  MQA_CHECK(model != nullptr) << "instance lacks a quality model";
+
+  for (size_t i = 0; i < num_current_workers_; ++i) {
+    const Worker& w = instance.workers()[i];
+    for (size_t j = 0; j < num_current_tasks_; ++j) {
+      const Task& t = instance.tasks()[j];
+      if (!instance.CanReach(w, t)) continue;
+      const double q = model->Score(w, t);
+      per_task_[j].Add(q);
+      per_worker_[i].Add(q);
+      global_.Add(q);
+      ++num_valid_pairs_;
+    }
+  }
+}
+
+Uncertain PairStatistics::FromStats(const RunningStats& s) {
+  if (s.count() == 0) return Uncertain::Fixed(0.0);
+  return Uncertain(s.mean(), s.variance(), s.min(), s.max());
+}
+
+Uncertain PairStatistics::QualityCase1(int32_t task_index) const {
+  MQA_CHECK(task_index >= 0 &&
+            static_cast<size_t>(task_index) < num_current_tasks_)
+      << "Case 1 requires a current task";
+  return FromStats(per_task_[static_cast<size_t>(task_index)]);
+}
+
+Uncertain PairStatistics::QualityCase2(int32_t worker_index) const {
+  MQA_CHECK(worker_index >= 0 &&
+            static_cast<size_t>(worker_index) < num_current_workers_)
+      << "Case 2 requires a current worker";
+  return FromStats(per_worker_[static_cast<size_t>(worker_index)]);
+}
+
+Uncertain PairStatistics::QualityCase3() const { return FromStats(global_); }
+
+double PairStatistics::ExistenceCase1(int32_t task_index) const {
+  if (num_current_workers_ == 0) return 0.0;
+  const double n_j = static_cast<double>(
+      per_task_[static_cast<size_t>(task_index)].count());
+  return std::min(n_j / static_cast<double>(num_current_workers_), 1.0);
+}
+
+double PairStatistics::ExistenceCase2(int32_t worker_index) const {
+  if (num_current_tasks_ == 0) return 0.0;
+  const double m_i = static_cast<double>(
+      per_worker_[static_cast<size_t>(worker_index)].count());
+  return std::min(m_i / static_cast<double>(num_current_tasks_), 1.0);
+}
+
+double PairStatistics::ExistenceCase3() const {
+  if (num_current_workers_ == 0 || num_current_tasks_ == 0) return 0.0;
+  return static_cast<double>(num_valid_pairs_) /
+         (static_cast<double>(num_current_workers_) *
+          static_cast<double>(num_current_tasks_));
+}
+
+double PairStatistics::AvgWorkersPerTask() const {
+  if (num_current_tasks_ == 0) return 0.0;
+  return static_cast<double>(num_valid_pairs_) /
+         static_cast<double>(num_current_tasks_);
+}
+
+}  // namespace mqa

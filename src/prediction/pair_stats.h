@@ -1,0 +1,66 @@
+#ifndef MQA_PREDICTION_PAIR_STATS_H_
+#define MQA_PREDICTION_PAIR_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/problem_instance.h"
+#include "stats/running_stats.h"
+#include "stats/uncertain.h"
+
+namespace mqa {
+
+/// Sample-based statistics of quality scores and existence probabilities
+/// for pairs involving predicted workers/tasks (paper Section III-B).
+///
+/// All statistics are derived from the *current* valid pairs of a
+/// ProblemInstance:
+///   Case 1 <ŵ, t_j>: quality samples = q_ij over the n_j current workers
+///     that can reach t_j; existence = min(n_j / |W_p|, 1).
+///   Case 2 <w_i, t̂>: quality samples = q_ij over the m_i current tasks
+///     w_i can reach; existence = min(m_i / |T_p|, 1).
+///   Case 3 <ŵ, t̂>: quality samples = q_ij over all current valid pairs;
+///     existence = u / (|W_p| * |T_p|), u = number of current valid pairs.
+class PairStatistics {
+ public:
+  /// Scans the current-current valid pairs of `instance` once and builds
+  /// all per-task, per-worker and global statistics.
+  explicit PairStatistics(const ProblemInstance& instance);
+
+  /// Quality distribution for a pair of a predicted worker with current
+  /// task index `task_index` (Case 1).
+  Uncertain QualityCase1(int32_t task_index) const;
+
+  /// Quality distribution for a pair of current worker index
+  /// `worker_index` with a predicted task (Case 2).
+  Uncertain QualityCase2(int32_t worker_index) const;
+
+  /// Quality distribution for a fully predicted pair (Case 3).
+  Uncertain QualityCase3() const;
+
+  /// Existence probabilities p̂_ij for the three predicted-pair cases.
+  double ExistenceCase1(int32_t task_index) const;
+  double ExistenceCase2(int32_t worker_index) const;
+  double ExistenceCase3() const;
+
+  /// Number of current-current valid pairs found.
+  int64_t num_valid_pairs() const { return num_valid_pairs_; }
+
+  /// Average number of valid workers per current task (deg_t in the
+  /// paper's Appendix C cost model).
+  double AvgWorkersPerTask() const;
+
+ private:
+  static Uncertain FromStats(const RunningStats& s);
+
+  size_t num_current_workers_;
+  size_t num_current_tasks_;
+  std::vector<RunningStats> per_task_;    // indexed by current task index
+  std::vector<RunningStats> per_worker_;  // indexed by current worker index
+  RunningStats global_;
+  int64_t num_valid_pairs_ = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_PREDICTION_PAIR_STATS_H_

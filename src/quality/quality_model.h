@@ -1,0 +1,28 @@
+#ifndef MQA_QUALITY_QUALITY_MODEL_H_
+#define MQA_QUALITY_QUALITY_MODEL_H_
+
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace mqa {
+
+/// Maps a (current worker, current task) pair to its quality score q_ij
+/// (paper Section II-C). Implementations must be deterministic: the same
+/// (worker.id, task.id) always yields the same score, so that repeated
+/// lookups, validation, and re-runs agree without materializing an n*m
+/// matrix.
+///
+/// Scores of pairs involving *predicted* entities are not produced here;
+/// they are estimated from current-pair samples (paper Section III-B,
+/// Cases 1-3) by BuildCandidatePairs.
+class QualityModel {
+ public:
+  virtual ~QualityModel() = default;
+
+  /// Quality score of assigning `worker` to `task`.
+  virtual double Score(const Worker& worker, const Task& task) const = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_QUALITY_QUALITY_MODEL_H_

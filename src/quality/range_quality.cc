@@ -1,0 +1,20 @@
+#include "quality/range_quality.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "quality/score_hash.h"
+
+namespace mqa {
+
+RangeQualityModel::RangeQualityModel(double q_lo, double q_hi, uint64_t seed)
+    : q_lo_(q_lo), q_hi_(q_hi), seed_(seed) {
+  MQA_CHECK(q_lo <= q_hi) << "invalid quality range";
+}
+
+double RangeQualityModel::Score(const Worker& worker, const Task& task) const {
+  return internal::HashGaussianInRange(
+      internal::MixIds(seed_, worker.id, task.id), q_lo_, q_hi_);
+}
+
+}  // namespace mqa

@@ -1,0 +1,32 @@
+#ifndef MQA_QUALITY_RANGE_QUALITY_H_
+#define MQA_QUALITY_RANGE_QUALITY_H_
+
+#include <cstdint>
+
+#include "quality/quality_model.h"
+
+namespace mqa {
+
+/// The paper's synthetic quality model: q_ij is drawn from a Gaussian
+/// restricted to [q_lo, q_hi] (Table IV, "the quality range [q-, q+]").
+/// Scores are a pure function of (worker.id, task.id, seed) via a
+/// counter-based hash generator, so no storage is needed and every lookup
+/// is O(1) and reproducible.
+class RangeQualityModel : public QualityModel {
+ public:
+  RangeQualityModel(double q_lo, double q_hi, uint64_t seed = 42);
+
+  double Score(const Worker& worker, const Task& task) const override;
+
+  double q_lo() const { return q_lo_; }
+  double q_hi() const { return q_hi_; }
+
+ private:
+  double q_lo_;
+  double q_hi_;
+  uint64_t seed_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_QUALITY_RANGE_QUALITY_H_

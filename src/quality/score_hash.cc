@@ -1,0 +1,44 @@
+#include "quality/score_hash.h"
+
+#include <cmath>
+
+namespace mqa {
+namespace internal {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixIds(uint64_t seed, int64_t a, int64_t b) {
+  uint64_t h = SplitMix64(seed);
+  h = SplitMix64(h ^ static_cast<uint64_t>(a) * 0x9e3779b97f4a7c15ULL);
+  h = SplitMix64(h ^ static_cast<uint64_t>(b) * 0xc2b2ae3d27d4eb4fULL);
+  return h;
+}
+
+double HashUniform(uint64_t state) {
+  return static_cast<double>(state >> 11) * 0x1.0p-53;
+}
+
+double HashGaussianInRange(uint64_t state, double lo, double hi) {
+  if (lo >= hi) return lo;
+  const double mean = 0.5 * (lo + hi);
+  const double stddev = (hi - lo) / 6.0;
+  // Box-Muller over hash-derived uniforms; advance the state on rejection.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double u1 = HashUniform(state = SplitMix64(state));
+    const double u2 = HashUniform(state = SplitMix64(state));
+    if (u1 <= 0.0) continue;
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    const double v = mean + stddev * z;
+    if (v >= lo && v <= hi) return v;
+  }
+  return mean;
+}
+
+}  // namespace internal
+}  // namespace mqa

@@ -1,0 +1,27 @@
+#ifndef MQA_QUALITY_SCORE_HASH_H_
+#define MQA_QUALITY_SCORE_HASH_H_
+
+#include <cstdint>
+
+namespace mqa {
+namespace internal {
+
+/// SplitMix64 step: a fast, well-mixed 64-bit permutation used to derive
+/// deterministic per-pair randomness without storing an n*m matrix.
+uint64_t SplitMix64(uint64_t x);
+
+/// Combines a seed and two entity ids into one hash state.
+uint64_t MixIds(uint64_t seed, int64_t a, int64_t b);
+
+/// Uniform double in [0, 1) derived from a hash state (53-bit mantissa).
+double HashUniform(uint64_t state);
+
+/// Gaussian with mean (lo+hi)/2 and stddev (hi-lo)/6, truncated to
+/// [lo, hi] by bounded resampling — the deterministic counterpart of
+/// Rng::GaussianInRange used for per-pair quality scores.
+double HashGaussianInRange(uint64_t state, double lo, double hi);
+
+}  // namespace internal
+}  // namespace mqa
+
+#endif  // MQA_QUALITY_SCORE_HASH_H_

@@ -1,0 +1,33 @@
+#include "quality/skill_quality.h"
+
+#include "common/logging.h"
+#include "quality/score_hash.h"
+
+namespace mqa {
+
+SkillQualityModel::SkillQualityModel(int num_types, double scale,
+                                     uint64_t seed)
+    : num_types_(num_types), scale_(scale), seed_(seed) {
+  MQA_CHECK(num_types >= 1) << "need at least one task type";
+  MQA_CHECK(scale > 0.0) << "scale must be positive";
+}
+
+int SkillQualityModel::TaskType(TaskId task_id) const {
+  const uint64_t h = internal::MixIds(seed_ ^ 0x7a5bull, task_id, 1);
+  return static_cast<int>(h % static_cast<uint64_t>(num_types_));
+}
+
+double SkillQualityModel::Expertise(WorkerId worker_id, int type) const {
+  const uint64_t h = internal::MixIds(seed_, worker_id, type);
+  // Beta(2,2)-like hump via average of two uniforms: most workers are
+  // mid-skilled, few are experts or novices.
+  const double u1 = internal::HashUniform(h);
+  const double u2 = internal::HashUniform(internal::SplitMix64(h));
+  return 0.5 * (u1 + u2);
+}
+
+double SkillQualityModel::Score(const Worker& worker, const Task& task) const {
+  return scale_ * Expertise(worker.id, TaskType(task.id));
+}
+
+}  // namespace mqa

@@ -1,0 +1,41 @@
+#ifndef MQA_QUALITY_SKILL_QUALITY_H_
+#define MQA_QUALITY_SKILL_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quality/quality_model.h"
+
+namespace mqa {
+
+/// A structured quality model for realistic scenarios: every task has one
+/// of `num_types` types (photo, traffic report, shelf audit, ...) and every
+/// worker an expertise level per type in [0, 1]. The score of a pair is
+///   q_ij = scale * expertise(worker, type(task)),
+/// so, unlike RangeQualityModel, scores are *correlated per worker*: a
+/// worker that is good at photography is good at all photo tasks. Types
+/// and expertise are derived deterministically from ids.
+///
+/// Used by the fleet-dispatch example; the paper's experiments use
+/// RangeQualityModel.
+class SkillQualityModel : public QualityModel {
+ public:
+  SkillQualityModel(int num_types, double scale, uint64_t seed = 42);
+
+  double Score(const Worker& worker, const Task& task) const override;
+
+  /// The type assigned to `task_id` (stable across calls).
+  int TaskType(TaskId task_id) const;
+
+  /// Expertise of `worker_id` for `type`, in [0, 1].
+  double Expertise(WorkerId worker_id, int type) const;
+
+ private:
+  int num_types_;
+  double scale_;
+  uint64_t seed_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_QUALITY_SKILL_QUALITY_H_

@@ -1,0 +1,31 @@
+#include "sim/arrival_stream.h"
+
+namespace mqa {
+
+Status ArrivalStream::Validate() const {
+  if (workers.size() != tasks.size()) {
+    return Status::InvalidArgument(
+        "worker and task batch counts differ");
+  }
+  for (size_t p = 0; p < workers.size(); ++p) {
+    for (const Worker& w : workers[p]) {
+      if (w.predicted) {
+        return Status::InvalidArgument("arrival stream holds predicted worker");
+      }
+      if (w.arrival != static_cast<Timestamp>(p)) {
+        return Status::InvalidArgument("worker arrival stamp mismatch");
+      }
+    }
+    for (const Task& t : tasks[p]) {
+      if (t.predicted) {
+        return Status::InvalidArgument("arrival stream holds predicted task");
+      }
+      if (t.arrival != static_cast<Timestamp>(p)) {
+        return Status::InvalidArgument("task arrival stamp mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mqa

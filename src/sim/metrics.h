@@ -1,0 +1,59 @@
+#ifndef MQA_SIM_METRICS_H_
+#define MQA_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+namespace mqa {
+
+/// Per-instance measurements recorded by the simulator.
+struct InstanceMetrics {
+  Timestamp instance = 0;
+
+  /// Available (current) entities after carryover and rejoining.
+  int64_t workers_available = 0;
+  int64_t tasks_available = 0;
+
+  /// Predicted entities appended to the assigner's input.
+  int64_t predicted_workers = 0;
+  int64_t predicted_tasks = 0;
+
+  int64_t assigned = 0;
+  double quality = 0.0;
+  double cost = 0.0;
+
+  /// Wall-clock seconds spent in prediction + assignment for the
+  /// instance (the paper's "running time per time instance").
+  double cpu_seconds = 0.0;
+
+  /// Fig. 10 relative errors of the *previous* instance's prediction
+  /// against this instance's actual arrivals (-1 when no prediction was
+  /// made, e.g. at instance 0 or when prediction is disabled).
+  double worker_prediction_error = -1.0;
+  double task_prediction_error = -1.0;
+};
+
+/// Whole-run aggregates.
+struct SimulationSummary {
+  std::vector<InstanceMetrics> per_instance;
+
+  double total_quality = 0.0;
+  double total_cost = 0.0;
+  int64_t total_assigned = 0;
+
+  /// Mean per-instance wall-clock seconds (prediction + assignment).
+  double avg_cpu_seconds = 0.0;
+
+  /// Mean Fig. 10 prediction errors over instances that had predictions.
+  double avg_worker_prediction_error = 0.0;
+  double avg_task_prediction_error = 0.0;
+
+  /// Recomputes the aggregate fields from per_instance.
+  void Finalize();
+};
+
+}  // namespace mqa
+
+#endif  // MQA_SIM_METRICS_H_

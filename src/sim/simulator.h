@@ -1,0 +1,61 @@
+#ifndef MQA_SIM_SIMULATOR_H_
+#define MQA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/assigner.h"
+#include "prediction/predictor.h"
+#include "quality/quality_model.h"
+#include "sim/arrival_stream.h"
+#include "sim/metrics.h"
+
+namespace mqa {
+
+/// Configuration of the MQA_Framework loop (paper Fig. 3).
+struct SimulatorConfig {
+  /// Per-instance traveling budget B.
+  double budget = 300.0;
+
+  /// Unit price C per distance unit.
+  double unit_price = 10.0;
+
+  /// When false, the assigner sees only current entities (the paper's
+  /// "WoP" — without prediction — straw man).
+  bool use_prediction = true;
+
+  /// Grid predictor settings (used when use_prediction).
+  PredictionConfig prediction;
+
+  /// Workers that complete a task rejoin the pool at the task's location
+  /// after their travel time ("workers who finished tasks ... are also
+  /// treated as new workers", paper Section II-E).
+  bool workers_rejoin = true;
+
+  /// Validate every assignment against the Def. 3/4 invariants (cheap
+  /// relative to assignment; keep on except in microbenchmarks).
+  bool validate_assignments = true;
+};
+
+/// Drives an Assigner through all time instances of an arrival stream:
+///   retrieve available workers/tasks -> predict next instance ->
+///   assign -> apply (busy workers travel, tasks complete or expire,
+///   unassigned entities carry over) -> record metrics.
+class Simulator {
+ public:
+  /// `quality` must outlive the simulator.
+  Simulator(const SimulatorConfig& config, const QualityModel* quality);
+
+  /// Runs `assigner` over the whole stream. Returns an error when the
+  /// stream is malformed or an assignment violates the MQA constraints.
+  Result<SimulationSummary> Run(const ArrivalStream& stream,
+                                Assigner* assigner);
+
+ private:
+  SimulatorConfig config_;
+  const QualityModel* quality_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_SIM_SIMULATOR_H_

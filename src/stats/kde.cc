@@ -1,0 +1,19 @@
+#include "stats/kde.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+double UniformKernelBandwidth(double sigma_hat, int64_t n, double fallback) {
+  MQA_CHECK(sigma_hat >= 0.0) << "negative stddev";
+  MQA_CHECK(fallback >= 0.0) << "negative fallback bandwidth";
+  if (n <= 0 || sigma_hat <= 0.0) return fallback;
+  // v = 2 => exponent -1/(2v+1) = -1/5.
+  const double h =
+      sigma_hat * kUniformKernelCv * std::pow(static_cast<double>(n), -0.2);
+  return h > 0.0 ? h : fallback;
+}
+
+}  // namespace mqa

@@ -1,0 +1,23 @@
+#ifndef MQA_STATS_KDE_H_
+#define MQA_STATS_KDE_H_
+
+#include <cstdint>
+
+namespace mqa {
+
+/// Bandwidth of the uniform-kernel density estimator used for predicted
+/// sample locations (paper Section III-A):
+///   h = sigma_hat * C_v(k) * n^(-1/(2v+1)),  v = 2, C_v(k) = 1.8431.
+/// `sigma_hat` is the standard deviation of current samples on the axis and
+/// `n` the number of samples. Returns `fallback` when the inputs give no
+/// signal (n == 0 or sigma_hat == 0) so that a predicted sample never
+/// degenerates to an exact point by accident.
+double UniformKernelBandwidth(double sigma_hat, int64_t n, double fallback);
+
+/// The constant C_v(k) = 1.8431 for the uniform kernel with v = 2
+/// (paper Section III-A, citing Hansen's lecture notes).
+inline constexpr double kUniformKernelCv = 1.8431;
+
+}  // namespace mqa
+
+#endif  // MQA_STATS_KDE_H_

@@ -1,0 +1,44 @@
+#include "stats/linear_regression.h"
+
+#include "common/logging.h"
+
+namespace mqa {
+
+LinearRegression LinearRegression::Fit(const std::vector<double>& xs,
+                                       const std::vector<double>& ys) {
+  MQA_CHECK(xs.size() == ys.size()) << "x/y size mismatch";
+  MQA_CHECK(!xs.empty()) << "cannot fit over zero samples";
+
+  const double n = static_cast<double>(xs.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (ys[i] - mean_y);
+  }
+
+  if (sxx == 0.0) {
+    // Single point or constant x: the best constant fit is mean(y).
+    return LinearRegression(0.0, mean_y);
+  }
+  const double slope = sxy / sxx;
+  return LinearRegression(slope, mean_y - slope * mean_x);
+}
+
+LinearRegression LinearRegression::FitSeries(const std::vector<double>& ys) {
+  std::vector<double> xs(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) xs[i] = static_cast<double>(i + 1);
+  return Fit(xs, ys);
+}
+
+}  // namespace mqa

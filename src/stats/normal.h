@@ -1,0 +1,21 @@
+#ifndef MQA_STATS_NORMAL_H_
+#define MQA_STATS_NORMAL_H_
+
+namespace mqa {
+
+/// Cumulative distribution function Phi(x) of the standard normal
+/// distribution (used by the paper's Eq. 7/8 CLT comparisons and the
+/// Eq. 9 chance constraint).
+double StdNormalCdf(double x);
+
+/// Probability density function of the standard normal distribution.
+double StdNormalPdf(double x);
+
+/// Inverse CDF (quantile) of the standard normal distribution, accurate to
+/// ~1e-9 (Acklam's rational approximation plus one Halley refinement).
+/// Requires 0 < p < 1.
+double StdNormalQuantile(double p);
+
+}  // namespace mqa
+
+#endif  // MQA_STATS_NORMAL_H_

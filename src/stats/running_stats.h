@@ -1,0 +1,45 @@
+#ifndef MQA_STATS_RUNNING_STATS_H_
+#define MQA_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace mqa {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Used to summarize quality-score samples (paper Section III-B Cases 1-3)
+/// and cell-count histories.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divide by n). Zero when fewer than 2 samples.
+  double variance() const;
+
+  /// Sample variance (divide by n-1). Zero when fewer than 2 samples.
+  double sample_variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mqa
+
+#endif  // MQA_STATS_RUNNING_STATS_H_

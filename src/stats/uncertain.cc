@@ -1,0 +1,47 @@
+#include "stats/uncertain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+Uncertain::Uncertain(double mean, double variance, double lb, double ub)
+    : mean_(mean), variance_(variance), lb_(lb), ub_(ub) {
+  MQA_CHECK(variance >= 0.0) << "negative variance " << variance;
+  MQA_CHECK(lb <= ub) << "invalid bounds [" << lb << ", " << ub << "]";
+  // Numerical slack: sample means can fall epsilon outside the bounds.
+  const double slack = 1e-9 * (1.0 + std::abs(mean));
+  MQA_CHECK(mean >= lb - slack && mean <= ub + slack)
+      << "mean " << mean << " outside [" << lb << ", " << ub << "]";
+  mean_ = std::clamp(mean, lb, ub);
+}
+
+Uncertain Uncertain::AffineTransform(double a, double b) const {
+  const double lo = a >= 0.0 ? a * lb_ + b : a * ub_ + b;
+  const double hi = a >= 0.0 ? a * ub_ + b : a * lb_ + b;
+  return Uncertain(a * mean_ + b, a * a * variance_, lo, hi);
+}
+
+Uncertain Uncertain::Add(const Uncertain& other) const {
+  return Uncertain(mean_ + other.mean_, variance_ + other.variance_,
+                   lb_ + other.lb_, ub_ + other.ub_);
+}
+
+Uncertain Uncertain::BernoulliThin(double p) const {
+  MQA_CHECK(p >= 0.0 && p <= 1.0) << "probability out of range: " << p;
+  if (p >= 1.0) return *this;
+  if (p <= 0.0) return Fixed(0.0);
+  const double mean = p * mean_;
+  const double var = p * variance_ + p * (1.0 - p) * mean_ * mean_;
+  return Uncertain(mean, var, std::min(lb_, 0.0), std::max(ub_, 0.0));
+}
+
+std::ostream& operator<<(std::ostream& os, const Uncertain& u) {
+  if (u.IsFixed()) return os << u.mean();
+  return os << "N(" << u.mean() << ", " << u.variance() << ")[" << u.lb()
+            << ", " << u.ub() << "]";
+}
+
+}  // namespace mqa

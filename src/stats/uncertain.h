@@ -1,0 +1,58 @@
+#ifndef MQA_STATS_UNCERTAIN_H_
+#define MQA_STATS_UNCERTAIN_H_
+
+#include <ostream>
+
+namespace mqa {
+
+/// A scalar quantity that may be a fixed value (current worker/task pairs)
+/// or a random variable summarized by mean, variance and hard bounds
+/// (pairs involving predicted workers/tasks — paper Section III-B).
+///
+/// The bounds [lb, ub] are *support* bounds used by the Lemma 4.1
+/// dominance pruning; mean/variance feed the Eq. 7/8 CLT comparisons.
+class Uncertain {
+ public:
+  /// Constructs a degenerate (deterministic) value.
+  static Uncertain Fixed(double value) {
+    return Uncertain(value, 0.0, value, value);
+  }
+
+  /// Constructs a random quantity. Requires lb <= mean <= ub, variance >= 0.
+  Uncertain(double mean, double variance, double lb, double ub);
+
+  Uncertain() : Uncertain(0.0, 0.0, 0.0, 0.0) {}
+
+  double mean() const { return mean_; }
+  double variance() const { return variance_; }
+  double lb() const { return lb_; }
+  double ub() const { return ub_; }
+
+  /// True when the value is deterministic (zero variance, tight bounds).
+  bool IsFixed() const { return variance_ == 0.0 && lb_ == ub_; }
+
+  /// Linear transform a*X + b (variance scales by a^2; bounds follow,
+  /// flipping when a < 0).
+  Uncertain AffineTransform(double a, double b) const;
+
+  /// Sum of two independent quantities.
+  Uncertain Add(const Uncertain& other) const;
+
+  /// Thinning by an independent Bernoulli(p) indicator: the value is X with
+  /// probability p and 0 otherwise. Used to fold the paper's existence
+  /// probability p̂_ij of predicted pairs into the quality increase:
+  ///   E = p E(X),  Var = p Var(X) + p (1-p) E(X)^2,  lb -> min(lb, 0).
+  Uncertain BernoulliThin(double p) const;
+
+ private:
+  double mean_;
+  double variance_;
+  double lb_;
+  double ub_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Uncertain& u);
+
+}  // namespace mqa
+
+#endif  // MQA_STATS_UNCERTAIN_H_

@@ -1,0 +1,25 @@
+#include "stats/uniform_moments.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+double UniformRawMoment(double lb, double ub, int k) {
+  MQA_CHECK(lb <= ub) << "invalid uniform support [" << lb << ", " << ub << "]";
+  MQA_CHECK(k >= 0) << "moment order must be non-negative";
+  if (k == 0) return 1.0;
+  if (lb == ub) return std::pow(lb, k);
+  const double kp1 = static_cast<double>(k + 1);
+  return (std::pow(ub, k + 1) - std::pow(lb, k + 1)) / (kp1 * (ub - lb));
+}
+
+double UniformMean(double lb, double ub) { return 0.5 * (lb + ub); }
+
+double UniformVariance(double lb, double ub) {
+  const double w = ub - lb;
+  return w * w / 12.0;
+}
+
+}  // namespace mqa

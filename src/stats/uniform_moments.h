@@ -1,0 +1,20 @@
+#ifndef MQA_STATS_UNIFORM_MOMENTS_H_
+#define MQA_STATS_UNIFORM_MOMENTS_H_
+
+namespace mqa {
+
+/// Closed-form raw moments E(X^k) of X ~ Uniform(lb, ub):
+///   E(X^k) = (ub^{k+1} - lb^{k+1}) / ((k+1) (ub - lb)),
+/// degenerating to lb^k when lb == ub. These are the building blocks of the
+/// paper's Eq. (5) computation of E(Z_r^4).
+double UniformRawMoment(double lb, double ub, int k);
+
+/// Mean of Uniform(lb, ub).
+double UniformMean(double lb, double ub);
+
+/// Variance of Uniform(lb, ub): (ub - lb)^2 / 12.
+double UniformVariance(double lb, double ub);
+
+}  // namespace mqa
+
+#endif  // MQA_STATS_UNIFORM_MOMENTS_H_

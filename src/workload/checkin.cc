@@ -1,0 +1,234 @@
+#include "workload/checkin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mqa {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Venue {
+  Point location;
+  int hotspot = 0;
+};
+
+// Places `count` venues around the hotspot centers.
+std::vector<Venue> PlaceVenues(const std::vector<Point>& hotspots,
+                               double sigma, int count, Rng* rng) {
+  std::vector<Venue> venues;
+  venues.reserve(static_cast<size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    Venue v;
+    v.hotspot = static_cast<int>(
+        rng->UniformInt(0, static_cast<int64_t>(hotspots.size()) - 1));
+    const Point& c = hotspots[static_cast<size_t>(v.hotspot)];
+    v.location = {std::clamp(rng->Gaussian(c.x, sigma), 0.0, 1.0),
+                  std::clamp(rng->Gaussian(c.y, sigma), 0.0, 1.0)};
+    venues.push_back(v);
+  }
+  return venues;
+}
+
+// Double-peak daily intensity over R instances (morning + evening rush).
+std::vector<double> DailyIntensity(int instances) {
+  std::vector<double> weights(static_cast<size_t>(instances));
+  for (int p = 0; p < instances; ++p) {
+    const double t = (p + 0.5) / instances;  // normalized time of day
+    const double morning = std::exp(-std::pow((t - 0.35) / 0.12, 2.0));
+    const double evening = std::exp(-std::pow((t - 0.75) / 0.10, 2.0));
+    weights[static_cast<size_t>(p)] = 0.35 + morning + 0.8 * evening;
+  }
+  return weights;
+}
+
+// Allocates `total` arrivals over instances proportionally to `weights`
+// (largest-remainder rounding so the counts sum exactly to total).
+std::vector<int64_t> Allocate(int64_t total, const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  std::vector<int64_t> counts(weights.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int64_t allocated = 0;
+  for (size_t p = 0; p < weights.size(); ++p) {
+    const double exact = total * weights[p] / sum;
+    counts[p] = static_cast<int64_t>(exact);
+    allocated += counts[p];
+    remainders.emplace_back(exact - std::floor(exact), p);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (int64_t k = 0; k < total - allocated; ++k) {
+    ++counts[remainders[static_cast<size_t>(k) % remainders.size()].second];
+  }
+  return counts;
+}
+
+// Mixture weights over hotspots, drifting per instance via a clamped
+// random walk (renormalized).
+class DriftingWeights {
+ public:
+  DriftingWeights(int count, double drift, Rng* rng)
+      : drift_(drift), rng_(rng), weights_(static_cast<size_t>(count)) {
+    for (auto& w : weights_) w = 0.3 + rng_->Uniform();
+    Normalize();
+  }
+
+  void Step() {
+    for (auto& w : weights_) {
+      w = std::max(0.05, w * (1.0 + rng_->Uniform(-drift_, drift_)));
+    }
+    Normalize();
+  }
+
+  int Sample() const {
+    double u = rng_->Uniform();
+    for (size_t h = 0; h < weights_.size(); ++h) {
+      u -= weights_[h];
+      if (u <= 0.0) return static_cast<int>(h);
+    }
+    return static_cast<int>(weights_.size()) - 1;
+  }
+
+ private:
+  void Normalize() {
+    double sum = 0.0;
+    for (const double w : weights_) sum += w;
+    for (auto& w : weights_) w /= sum;
+  }
+
+  double drift_;
+  Rng* rng_;
+  std::vector<double> weights_;
+};
+
+// Zipf-popularity venue picker restricted to one hotspot: venues of the
+// hotspot keep their global popularity rank order.
+class VenuePicker {
+ public:
+  VenuePicker(const std::vector<Venue>& venues, int num_hotspots, double skew,
+              Rng* rng)
+      : venues_(venues), skew_(skew), rng_(rng) {
+    by_hotspot_.resize(static_cast<size_t>(num_hotspots));
+    // Venue index order defines the popularity ranking.
+    for (size_t v = 0; v < venues.size(); ++v) {
+      by_hotspot_[static_cast<size_t>(venues[v].hotspot)].push_back(
+          static_cast<int>(v));
+    }
+  }
+
+  // A venue of `hotspot`, Zipf-ranked within the hotspot.
+  const Venue& Pick(int hotspot) const {
+    const auto& list = by_hotspot_[static_cast<size_t>(hotspot)];
+    if (list.empty()) {
+      // Degenerate hotspot without venues: any venue.
+      return venues_[static_cast<size_t>(
+          rng_->UniformInt(0, static_cast<int64_t>(venues_.size()) - 1))];
+    }
+    const int64_t rank =
+        rng_->Zipf(static_cast<int64_t>(list.size()), skew_);
+    return venues_[static_cast<size_t>(list[static_cast<size_t>(rank - 1)])];
+  }
+
+ private:
+  const std::vector<Venue>& venues_;
+  std::vector<std::vector<int>> by_hotspot_;
+  double skew_;
+  Rng* rng_;
+};
+
+Point Jitter(const Point& p, double sigma, Rng* rng) {
+  const double angle = rng->Uniform(0.0, 2.0 * kPi);
+  const double radius = std::abs(rng->Gaussian(0.0, sigma));
+  return {std::clamp(p.x + radius * std::cos(angle), 0.0, 1.0),
+          std::clamp(p.y + radius * std::sin(angle), 0.0, 1.0)};
+}
+
+}  // namespace
+
+ArrivalStream GenerateCheckin(const CheckinConfig& config) {
+  MQA_CHECK(config.num_instances >= 1) << "need at least one instance";
+  MQA_CHECK(config.num_hotspots >= 1) << "need at least one hotspot";
+  Rng rng(config.seed);
+
+  // Downtown hotspot centers within the configured footprint.
+  std::vector<Point> hotspots;
+  hotspots.reserve(static_cast<size_t>(config.num_hotspots));
+  for (int h = 0; h < config.num_hotspots; ++h) {
+    hotspots.push_back(
+        {rng.Uniform(config.hotspot_center_lo, config.hotspot_center_hi),
+         rng.Uniform(config.hotspot_center_lo, config.hotspot_center_hi)});
+  }
+
+  // Task hotspots sit a fixed offset away from the worker hotspots in a
+  // random direction: the two services' activity centers overlap but do
+  // not coincide (see CheckinConfig::task_hotspot_offset).
+  std::vector<Point> task_hotspots;
+  task_hotspots.reserve(hotspots.size());
+  for (const Point& h : hotspots) {
+    const double angle = rng.Uniform(0.0, 2.0 * kPi);
+    task_hotspots.push_back(
+        {std::clamp(h.x + config.task_hotspot_offset * std::cos(angle), 0.05,
+                    0.95),
+         std::clamp(h.y + config.task_hotspot_offset * std::sin(angle), 0.05,
+                    0.95)});
+  }
+
+  const std::vector<Venue> worker_venues =
+      PlaceVenues(hotspots, config.hotspot_sigma, config.num_worker_venues,
+                  &rng);
+  const std::vector<Venue> task_venues = PlaceVenues(
+      task_hotspots, config.hotspot_sigma, config.num_task_venues, &rng);
+  VenuePicker worker_picker(worker_venues, config.num_hotspots,
+                            config.venue_popularity_skew, &rng);
+  VenuePicker task_picker(task_venues, config.num_hotspots,
+                          config.venue_popularity_skew, &rng);
+
+  DriftingWeights worker_weights(config.num_hotspots, config.drift, &rng);
+  DriftingWeights task_weights(config.num_hotspots, config.drift, &rng);
+
+  const std::vector<double> intensity = DailyIntensity(config.num_instances);
+  const std::vector<int64_t> workers_per =
+      Allocate(config.num_workers, intensity);
+  const std::vector<int64_t> tasks_per = Allocate(config.num_tasks, intensity);
+
+  ArrivalStream stream;
+  stream.workers.resize(static_cast<size_t>(config.num_instances));
+  stream.tasks.resize(static_cast<size_t>(config.num_instances));
+
+  int64_t next_worker_id = 0;
+  int64_t next_task_id = 0;
+  for (int p = 0; p < config.num_instances; ++p) {
+    auto& workers = stream.workers[static_cast<size_t>(p)];
+    for (int64_t k = 0; k < workers_per[static_cast<size_t>(p)]; ++k) {
+      const Venue& venue = worker_picker.Pick(worker_weights.Sample());
+      Worker w;
+      w.id = next_worker_id++;
+      w.location = BBox::FromPoint(
+          Jitter(venue.location, config.checkin_jitter, &rng));
+      w.velocity = rng.GaussianInRange(config.velocity_lo, config.velocity_hi);
+      w.arrival = p;
+      workers.push_back(w);
+    }
+    auto& tasks = stream.tasks[static_cast<size_t>(p)];
+    for (int64_t k = 0; k < tasks_per[static_cast<size_t>(p)]; ++k) {
+      const Venue& venue = task_picker.Pick(task_weights.Sample());
+      Task t;
+      t.id = next_task_id++;
+      t.location = BBox::FromPoint(
+          Jitter(venue.location, config.checkin_jitter, &rng));
+      t.deadline = rng.GaussianInRange(config.deadline_lo, config.deadline_hi);
+      t.arrival = p;
+      tasks.push_back(t);
+    }
+    worker_weights.Step();
+    task_weights.Step();
+  }
+  return stream;
+}
+
+}  // namespace mqa

@@ -1,0 +1,50 @@
+#include "workload/spatial_dist.h"
+
+#include "common/logging.h"
+
+namespace mqa {
+
+const char* SpatialDistributionCode(SpatialDistribution d) {
+  switch (d) {
+    case SpatialDistribution::kUniform:
+      return "U";
+    case SpatialDistribution::kGaussian:
+      return "G";
+    case SpatialDistribution::kZipf:
+      return "Z";
+  }
+  return "?";
+}
+
+namespace {
+
+double SampleZipfAxis(const SpatialDistConfig& config, Rng* rng) {
+  const int64_t bin = rng->Zipf(config.zipf_bins, config.zipf_skew) - 1;
+  const double bin_width = 1.0 / config.zipf_bins;
+  return (static_cast<double>(bin) + rng->Uniform()) * bin_width;
+}
+
+}  // namespace
+
+Point SampleLocation(const SpatialDistConfig& config, Rng* rng) {
+  MQA_CHECK(rng != nullptr) << "rng required";
+  switch (config.kind) {
+    case SpatialDistribution::kUniform:
+      return {rng->Uniform(), rng->Uniform()};
+    case SpatialDistribution::kGaussian: {
+      // Truncate by resampling; fall back to clamping on pathological
+      // sigma so the loop always terminates.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Point p{rng->Gaussian(0.5, config.gaussian_sigma),
+                      rng->Gaussian(0.5, config.gaussian_sigma)};
+        if (p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0) return p;
+      }
+      return {0.5, 0.5};
+    }
+    case SpatialDistribution::kZipf:
+      return {SampleZipfAxis(config, rng), SampleZipfAxis(config, rng)};
+  }
+  return {0.5, 0.5};
+}
+
+}  // namespace mqa

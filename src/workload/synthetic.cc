@@ -1,0 +1,66 @@
+#include "workload/synthetic.h"
+
+#include "common/logging.h"
+
+namespace mqa {
+
+namespace {
+
+// Spreads `total` entities evenly over `instances` batches; the first
+// (total % instances) batches get one extra.
+std::vector<int64_t> EvenSplit(int64_t total, int instances) {
+  std::vector<int64_t> out(static_cast<size_t>(instances),
+                           total / instances);
+  for (int64_t k = 0; k < total % instances; ++k) {
+    ++out[static_cast<size_t>(k)];
+  }
+  return out;
+}
+
+}  // namespace
+
+ArrivalStream GenerateSynthetic(const SyntheticConfig& config) {
+  MQA_CHECK(config.num_instances >= 1) << "need at least one instance";
+  MQA_CHECK(config.velocity_lo > 0.0 && config.velocity_lo <= config.velocity_hi)
+      << "invalid velocity range";
+  MQA_CHECK(config.deadline_lo >= 0.0 && config.deadline_lo <= config.deadline_hi)
+      << "invalid deadline range";
+
+  Rng rng(config.seed);
+  ArrivalStream stream;
+  stream.workers.resize(static_cast<size_t>(config.num_instances));
+  stream.tasks.resize(static_cast<size_t>(config.num_instances));
+
+  const std::vector<int64_t> workers_per =
+      EvenSplit(config.num_workers, config.num_instances);
+  const std::vector<int64_t> tasks_per =
+      EvenSplit(config.num_tasks, config.num_instances);
+
+  int64_t next_worker_id = 0;
+  int64_t next_task_id = 0;
+  for (int p = 0; p < config.num_instances; ++p) {
+    auto& workers = stream.workers[static_cast<size_t>(p)];
+    workers.reserve(static_cast<size_t>(workers_per[static_cast<size_t>(p)]));
+    for (int64_t k = 0; k < workers_per[static_cast<size_t>(p)]; ++k) {
+      Worker w;
+      w.id = next_worker_id++;
+      w.location = BBox::FromPoint(SampleLocation(config.worker_dist, &rng));
+      w.velocity = rng.GaussianInRange(config.velocity_lo, config.velocity_hi);
+      w.arrival = p;
+      workers.push_back(w);
+    }
+    auto& tasks = stream.tasks[static_cast<size_t>(p)];
+    tasks.reserve(static_cast<size_t>(tasks_per[static_cast<size_t>(p)]));
+    for (int64_t k = 0; k < tasks_per[static_cast<size_t>(p)]; ++k) {
+      Task t;
+      t.id = next_task_id++;
+      t.location = BBox::FromPoint(SampleLocation(config.task_dist, &rng));
+      t.deadline = rng.GaussianInRange(config.deadline_lo, config.deadline_hi);
+      t.arrival = p;
+      tasks.push_back(t);
+    }
+  }
+  return stream;
+}
+
+}  // namespace mqa

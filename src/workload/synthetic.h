@@ -1,0 +1,38 @@
+#ifndef MQA_WORKLOAD_SYNTHETIC_H_
+#define MQA_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "sim/arrival_stream.h"
+#include "workload/spatial_dist.h"
+
+namespace mqa {
+
+/// The paper's synthetic workload (Table IV). `num_workers` (n) and
+/// `num_tasks` (m) are totals across all `num_instances` (R) instances —
+/// the paper varies "the total number m of spatial tasks for R time
+/// instances" — spread evenly over instances. Velocities, deadlines are
+/// Gaussian within their ranges; defaults are Table IV's bold values.
+struct SyntheticConfig {
+  int64_t num_workers = 5000;  // n
+  int64_t num_tasks = 5000;    // m
+  int num_instances = 15;      // R
+
+  SpatialDistConfig worker_dist{SpatialDistribution::kGaussian, 0.25, 0.3,
+                                100};
+  SpatialDistConfig task_dist{SpatialDistribution::kZipf, 0.25, 0.3, 100};
+
+  double velocity_lo = 0.2;  // [v-, v+]
+  double velocity_hi = 0.3;
+  double deadline_lo = 1.0;  // [e-, e+]
+  double deadline_hi = 2.0;
+
+  uint64_t seed = 42;
+};
+
+/// Generates per-instance arrival batches for the synthetic workload.
+ArrivalStream GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace mqa
+
+#endif  // MQA_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,83 @@
+#include "core/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+CandidatePair CurrentPair(double cost) {
+  CandidatePair p;
+  p.cost = Uncertain::Fixed(cost);
+  p.quality = Uncertain::Fixed(1.0);
+  p.FinalizeEffectiveQuality();
+  return p;
+}
+
+CandidatePair PredictedPair(double cost_mean, double cost_var, double cost_lb,
+                            double cost_ub) {
+  CandidatePair p;
+  p.cost = Uncertain(cost_mean, cost_var, cost_lb, cost_ub);
+  p.quality = Uncertain::Fixed(1.0);
+  p.involves_predicted = true;
+  p.existence = 0.8;
+  p.FinalizeEffectiveQuality();
+  return p;
+}
+
+TEST(BudgetTrackerTest, CurrentPotHardLimit) {
+  BudgetTracker budget(10.0, 0.5);
+  EXPECT_TRUE(budget.Admits(CurrentPair(6.0)));
+  budget.Commit(CurrentPair(6.0));
+  EXPECT_DOUBLE_EQ(budget.current_spent(), 6.0);
+  EXPECT_TRUE(budget.Admits(CurrentPair(4.0)));
+  EXPECT_FALSE(budget.Admits(CurrentPair(4.1)));
+}
+
+TEST(BudgetTrackerTest, PotsAreIndependent) {
+  BudgetTracker budget(10.0, 0.5);
+  budget.Commit(CurrentPair(9.0));
+  // The future pot is untouched: a predicted pair of lb 8 still fits.
+  const auto pred = PredictedPair(8.0, 0.0, 8.0, 8.0);
+  EXPECT_FALSE(budget.QuickReject(pred));
+  EXPECT_TRUE(budget.Admits(pred));
+  budget.Commit(pred);
+  EXPECT_DOUBLE_EQ(budget.future_lb_spent(), 8.0);
+  EXPECT_DOUBLE_EQ(budget.current_spent(), 9.0);
+}
+
+TEST(BudgetTrackerTest, QuickRejectUsesLowerBound) {
+  BudgetTracker budget(10.0, 0.5);
+  budget.Commit(CurrentPair(7.0));
+  EXPECT_TRUE(budget.QuickReject(CurrentPair(3.5)));
+  EXPECT_FALSE(budget.QuickReject(CurrentPair(2.9)));
+  // Predicted pair with lb below future headroom passes even if its mean
+  // is large.
+  EXPECT_FALSE(budget.QuickReject(PredictedPair(12.0, 9.0, 9.0, 15.0)));
+}
+
+TEST(BudgetTrackerTest, ChanceConstraintDelta) {
+  // Headroom 10; pair cost N(10, var 4): Pr{cost <= 10} = 0.5.
+  BudgetTracker loose(10.0, 0.4);
+  BudgetTracker strict(10.0, 0.6);
+  const auto pair = PredictedPair(10.0, 4.0, 6.0, 14.0);
+  EXPECT_TRUE(loose.Admits(pair));    // 0.5 > 0.4
+  EXPECT_FALSE(strict.Admits(pair));  // 0.5 <= 0.6
+}
+
+TEST(BudgetTrackerTest, ChanceConstraintShrinksWithCommits) {
+  BudgetTracker budget(10.0, 0.5);
+  const auto pair = PredictedPair(6.0, 1.0, 4.0, 8.0);
+  EXPECT_TRUE(budget.Admits(pair));
+  budget.Commit(pair);  // future lb spent = 4
+  // Second identical pair: headroom 6, mean 6 -> Pr = 0.5, not > 0.5.
+  EXPECT_FALSE(budget.Admits(pair));
+}
+
+TEST(BudgetTrackerTest, ZeroBudgetAdmitsFreePairsOnly) {
+  BudgetTracker budget(0.0, 0.5);
+  EXPECT_TRUE(budget.Admits(CurrentPair(0.0)));
+  EXPECT_FALSE(budget.Admits(CurrentPair(0.01)));
+}
+
+}  // namespace
+}  // namespace mqa

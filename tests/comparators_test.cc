@@ -1,0 +1,130 @@
+#include "core/comparators.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+CandidatePair FixedPair(double cost, double quality) {
+  CandidatePair p;
+  p.cost = Uncertain::Fixed(cost);
+  p.quality = Uncertain::Fixed(quality);
+  p.FinalizeEffectiveQuality();
+  return p;
+}
+
+CandidatePair UncertainPair(double cost_mean, double cost_var, double cost_lb,
+                            double cost_ub, double q_mean, double q_var,
+                            double q_lb, double q_ub, double existence = 1.0) {
+  CandidatePair p;
+  p.cost = Uncertain(cost_mean, cost_var, cost_lb, cost_ub);
+  p.quality = Uncertain(q_mean, q_var, q_lb, q_ub);
+  p.existence = existence;
+  p.involves_predicted = true;
+  p.FinalizeEffectiveQuality();
+  return p;
+}
+
+TEST(ProbGreaterTest, FixedComparisons) {
+  EXPECT_DOUBLE_EQ(ProbGreater(Uncertain::Fixed(2), Uncertain::Fixed(1)), 1.0);
+  EXPECT_DOUBLE_EQ(ProbGreater(Uncertain::Fixed(1), Uncertain::Fixed(2)), 0.0);
+  EXPECT_DOUBLE_EQ(ProbGreater(Uncertain::Fixed(1), Uncertain::Fixed(1)), 0.5);
+}
+
+TEST(ProbGreaterTest, EqualMeansGiveHalf) {
+  const Uncertain a(1.0, 0.2, 0.0, 2.0);
+  const Uncertain b(1.0, 0.3, 0.0, 2.0);
+  EXPECT_NEAR(ProbGreater(a, b), 0.5, 1e-12);
+}
+
+TEST(ProbGreaterTest, HigherMeanWins) {
+  const Uncertain a(2.0, 0.1, 1.0, 3.0);
+  const Uncertain b(1.0, 0.1, 0.0, 2.0);
+  EXPECT_GT(ProbGreater(a, b), 0.9);
+  EXPECT_LT(ProbGreater(b, a), 0.1);
+}
+
+TEST(ProbGreaterTest, Complementarity) {
+  const Uncertain a(1.3, 0.2, 0.0, 3.0);
+  const Uncertain b(1.9, 0.4, 0.5, 3.5);
+  EXPECT_NEAR(ProbGreater(a, b) + ProbLessEq(a, b), 1.0, 1e-12);
+}
+
+TEST(ProbGreaterTest, VarianceWidensUncertainty) {
+  // With more variance, the same mean gap yields a less decisive
+  // probability.
+  const Uncertain b(1.0, 0.1, 0.0, 2.0);
+  const double narrow = ProbGreater(Uncertain(2.0, 0.01, 1.0, 3.0), b);
+  const double wide = ProbGreater(Uncertain(2.0, 4.0, 0.0, 4.0), b);
+  EXPECT_GT(narrow, wide);
+  EXPECT_GT(wide, 0.5);
+}
+
+TEST(ProbGreaterTest, NormalizationUsesSqrt) {
+  // Mean gap 1 with Var(a)+Var(b)=4 -> z = 1/2, Pr = Phi(0.5) = 0.6915.
+  const Uncertain a(2.0, 2.0, -10.0, 10.0);
+  const Uncertain b(1.0, 2.0, -10.0, 10.0);
+  EXPECT_NEAR(ProbGreater(a, b), 0.6914624612740131, 1e-9);
+}
+
+TEST(ProbLessEqTest, FixedComparisons) {
+  EXPECT_DOUBLE_EQ(ProbLessEq(Uncertain::Fixed(1), Uncertain::Fixed(2)), 1.0);
+  EXPECT_DOUBLE_EQ(ProbLessEq(Uncertain::Fixed(2), Uncertain::Fixed(1)), 0.0);
+  EXPECT_DOUBLE_EQ(ProbLessEq(Uncertain::Fixed(1), Uncertain::Fixed(1)), 0.5);
+}
+
+TEST(DominanceTest, StrictDominance) {
+  const CandidatePair good = FixedPair(/*cost=*/1.0, /*quality=*/5.0);
+  const CandidatePair bad = FixedPair(/*cost=*/3.0, /*quality=*/2.0);
+  EXPECT_TRUE(Dominates(good, bad));
+  EXPECT_FALSE(Dominates(bad, good));
+}
+
+TEST(DominanceTest, NoDominanceOnTies) {
+  const CandidatePair a = FixedPair(1.0, 5.0);
+  const CandidatePair b = FixedPair(1.0, 2.0);  // same cost
+  EXPECT_FALSE(Dominates(a, b));  // ub_cost(a) < lb_cost(b) fails (equal)
+}
+
+TEST(DominanceTest, OverlappingBoundsDoNotDominate) {
+  const CandidatePair a =
+      UncertainPair(1.0, 0.1, 0.5, 1.5, 4.0, 0.1, 3.0, 5.0);
+  const CandidatePair b =
+      UncertainPair(2.0, 0.1, 1.2, 2.8, 3.0, 0.1, 2.0, 4.0);
+  // Cost intervals [0.5,1.5] vs [1.2,2.8] overlap -> no Lemma 4.1 prune.
+  EXPECT_FALSE(Dominates(a, b));
+  // But a is probabilistically better on both dimensions.
+  EXPECT_TRUE(ProbabilisticallyDominates(a, b));
+  EXPECT_FALSE(ProbabilisticallyDominates(b, a));
+}
+
+TEST(DominanceTest, MixedStrengthNoProbabilisticDomination) {
+  // a cheaper but worse quality: neither dominates.
+  const CandidatePair a = FixedPair(1.0, 2.0);
+  const CandidatePair b = FixedPair(2.0, 3.0);
+  EXPECT_FALSE(ProbabilisticallyDominates(a, b));
+  EXPECT_FALSE(ProbabilisticallyDominates(b, a));
+}
+
+TEST(EffectiveQualityTest, ComparisonsUseRawQuality) {
+  // Eq. 7/10 compare raw quality distributions (paper pseudo-code);
+  // the existence probability does not handicap predicted pairs.
+  const CandidatePair p =
+      UncertainPair(1.0, 0.0, 1.0, 1.0, 2.0, 0.0, 2.0, 2.0, /*existence=*/0.5);
+  EXPECT_DOUBLE_EQ(p.EffectiveQuality().mean(), 2.0);
+  const CandidatePair sure = FixedPair(1.0, 1.2);
+  EXPECT_LT(ProbQualityGreater(sure, p), 0.5);
+}
+
+TEST(EffectiveQualityTest, ThinnedVariantAvailable) {
+  // The conservative Bernoulli-thinned ranking stays available.
+  const CandidatePair p =
+      UncertainPair(1.0, 0.0, 1.0, 1.0, 2.0, 0.0, 2.0, 2.0, /*existence=*/0.5);
+  const Uncertain thinned = p.ExistenceThinnedQuality();
+  EXPECT_DOUBLE_EQ(thinned.mean(), 1.0);
+  EXPECT_GT(thinned.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(thinned.lb(), 0.0);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,163 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/valid_pairs.h"
+#include "tests/test_util.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::ConstantQualityModel;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+ProblemInstance GridInstance(const QualityModel* quality, int side) {
+  // Tasks on a side x side grid; one fast worker near each task.
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  int id = 0;
+  for (int gx = 0; gx < side; ++gx) {
+    for (int gy = 0; gy < side; ++gy) {
+      const double x = (gx + 0.5) / side;
+      const double y = (gy + 0.5) / side;
+      tasks.push_back(MakeTask(id, x, y, 2.0));
+      workers.push_back(MakeWorker(id, x + 0.01, y, 0.8));
+      ++id;
+    }
+  }
+  const size_t n = workers.size();
+  const size_t m = tasks.size();
+  return ProblemInstance(std::move(workers), n, std::move(tasks), m, quality,
+                         1.0, 100.0);
+}
+
+TEST(DecompositionTest, PartitionsAllTasksDisjointly) {
+  const ConstantQualityModel q(1.0);
+  const auto inst = GridInstance(&q, 4);  // 16 tasks
+  const PairPool pool = BuildPairPool(inst);
+
+  std::vector<int32_t> all_tasks;
+  for (int32_t j = 0; j < 16; ++j) all_tasks.push_back(j);
+
+  const auto subs = DecomposeTasks(inst, pool, all_tasks, 4);
+  ASSERT_EQ(subs.size(), 4u);
+  std::set<int32_t> seen;
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.num_tasks(), 4u);  // ceil(16/4)
+    for (const int32_t j : sub.task_indices) {
+      EXPECT_TRUE(seen.insert(j).second) << "task " << j << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(DecompositionTest, AnchorSweepsFromSmallestLongitude) {
+  const ConstantQualityModel q(1.0);
+  std::vector<Worker> workers = {MakeWorker(0, 0.5, 0.5, 2.0)};
+  std::vector<Task> tasks = {
+      MakeTask(0, 0.9, 0.1, 2.0), MakeTask(1, 0.1, 0.9, 2.0),
+      MakeTask(2, 0.5, 0.5, 2.0), MakeTask(3, 0.05, 0.2, 2.0)};
+  const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 4, &q,
+                             1.0, 100.0);
+  const PairPool pool = BuildPairPool(inst);
+  const auto subs = DecomposeTasks(inst, pool, {0, 1, 2, 3}, 2);
+  ASSERT_EQ(subs.size(), 2u);
+  // First anchor is task 3 (x = 0.05); its nearest is task 1 (dist to
+  // (0.1,0.9) = 0.70) vs task 2 (0.54) vs task 0 (0.86) -> task 2.
+  EXPECT_EQ(subs[0].task_indices[0], 3);
+  EXPECT_EQ(subs[0].num_tasks(), 2u);
+}
+
+TEST(DecompositionTest, GroupsAreSpatiallyCoherent) {
+  const ConstantQualityModel q(1.0);
+  const auto inst = GridInstance(&q, 6);  // 36 tasks
+  const PairPool pool = BuildPairPool(inst);
+  std::vector<int32_t> all_tasks;
+  for (int32_t j = 0; j < 36; ++j) all_tasks.push_back(j);
+  const auto subs = DecomposeTasks(inst, pool, all_tasks, 6);
+
+  // Average intra-group distance must be well below the global average
+  // (that is the point of nearest-task grouping).
+  const auto center = [&](int32_t j) {
+    return inst.tasks()[static_cast<size_t>(j)].Center();
+  };
+  double intra = 0.0;
+  int intra_n = 0;
+  for (const auto& sub : subs) {
+    for (size_t a = 0; a < sub.task_indices.size(); ++a) {
+      for (size_t b = a + 1; b < sub.task_indices.size(); ++b) {
+        intra += Distance(center(sub.task_indices[a]),
+                          center(sub.task_indices[b]));
+        ++intra_n;
+      }
+    }
+  }
+  double global = 0.0;
+  int global_n = 0;
+  for (int32_t a = 0; a < 36; ++a) {
+    for (int32_t b = a + 1; b < 36; ++b) {
+      global += Distance(center(a), center(b));
+      ++global_n;
+    }
+  }
+  EXPECT_LT(intra / intra_n, 0.6 * global / global_n);
+}
+
+TEST(DecompositionTest, SkipsTasksWithoutValidPairs) {
+  const ConstantQualityModel q(1.0);
+  std::vector<Worker> workers = {MakeWorker(0, 0.1, 0.1, 0.2)};
+  std::vector<Task> tasks = {MakeTask(0, 0.1, 0.15, 1.0),
+                             MakeTask(1, 0.95, 0.95, 1.0)};  // unreachable
+  const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 2, &q,
+                             1.0, 100.0);
+  const PairPool pool = BuildPairPool(inst);
+  const auto subs = DecomposeTasks(inst, pool, {0, 1}, 2);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].task_indices, (std::vector<int32_t>{0}));
+}
+
+TEST(DecompositionTest, SingleGroupWhenGIsOne) {
+  const ConstantQualityModel q(1.0);
+  const auto inst = GridInstance(&q, 3);
+  const PairPool pool = BuildPairPool(inst);
+  std::vector<int32_t> all_tasks;
+  for (int32_t j = 0; j < 9; ++j) all_tasks.push_back(j);
+  const auto subs = DecomposeTasks(inst, pool, all_tasks, 1);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].num_tasks(), 9u);
+}
+
+// -------------------------------------------------------------- cost model
+
+TEST(CostModelTest, DerivativeNegativeAtSmallG) {
+  // For large m the FB term dominates: derivative at g=2 is negative.
+  EXPECT_LT(DcCostDerivative(1000.0, 3.0, 2.0), 0.0);
+}
+
+TEST(CostModelTest, BestBranchingInRange) {
+  for (const int64_t m : {3LL, 10LL, 100LL, 1000LL, 5000LL}) {
+    const int g = EstimateBestBranching(m, 3.0);
+    EXPECT_GE(g, 2) << "m=" << m;
+    EXPECT_LE(g, 64) << "m=" << m;
+    EXPECT_LE(g, m) << "m=" << m;
+  }
+}
+
+TEST(CostModelTest, TinyProblemsUseTwo) {
+  EXPECT_EQ(EstimateBestBranching(1, 3.0), 2);
+  EXPECT_EQ(EstimateBestBranching(2, 3.0), 2);
+}
+
+TEST(CostModelTest, BranchingGrowsWithProblemSize) {
+  const int g_small = EstimateBestBranching(50, 3.0);
+  const int g_large = EstimateBestBranching(5000, 3.0);
+  EXPECT_GE(g_large, g_small);
+}
+
+}  // namespace
+}  // namespace mqa

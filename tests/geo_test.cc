@@ -1,0 +1,89 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace mqa {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(BBoxTest, PointBoxDegenerates) {
+  const BBox b = BBox::FromPoint({0.3, 0.7});
+  EXPECT_TRUE(b.IsPoint());
+  EXPECT_EQ(b.Center(), (Point{0.3, 0.7}));
+  EXPECT_DOUBLE_EQ(b.WidthX(), 0.0);
+}
+
+TEST(BBoxTest, ContainsBoundaries) {
+  const BBox b({0.2, 0.2}, {0.4, 0.6});
+  EXPECT_TRUE(b.Contains({0.2, 0.2}));
+  EXPECT_TRUE(b.Contains({0.4, 0.6}));
+  EXPECT_TRUE(b.Contains({0.3, 0.4}));
+  EXPECT_FALSE(b.Contains({0.19, 0.4}));
+  EXPECT_FALSE(b.Contains({0.3, 0.61}));
+}
+
+TEST(BBoxTest, MinDistanceOverlappingIsZero) {
+  const BBox a({0.0, 0.0}, {0.5, 0.5});
+  const BBox b({0.4, 0.4}, {0.8, 0.8});
+  EXPECT_DOUBLE_EQ(a.MinDistance(b), 0.0);
+}
+
+TEST(BBoxTest, MinMaxDistanceDisjoint) {
+  const BBox a({0.0, 0.0}, {0.1, 0.1});
+  const BBox b({0.4, 0.0}, {0.5, 0.1});
+  // Gap along x only.
+  EXPECT_DOUBLE_EQ(a.MinDistance(b), 0.3);
+  // Max: corner (0,0) to corner (0.5, 0.1) or (0, 0.1)-(0.5, 0): same.
+  EXPECT_DOUBLE_EQ(a.MaxDistance(b), std::sqrt(0.25 + 0.01));
+}
+
+TEST(BBoxTest, MinMaxDistanceDiagonal) {
+  const BBox a({0.0, 0.0}, {0.1, 0.1});
+  const BBox b({0.3, 0.4}, {0.5, 0.6});
+  EXPECT_DOUBLE_EQ(a.MinDistance(b), std::sqrt(0.2 * 0.2 + 0.3 * 0.3));
+  EXPECT_DOUBLE_EQ(a.MaxDistance(b), std::sqrt(0.5 * 0.5 + 0.6 * 0.6));
+}
+
+TEST(BBoxTest, DistanceSymmetry) {
+  const BBox a({0.1, 0.2}, {0.3, 0.3});
+  const BBox b({0.6, 0.1}, {0.9, 0.8});
+  EXPECT_DOUBLE_EQ(a.MinDistance(b), b.MinDistance(a));
+  EXPECT_DOUBLE_EQ(a.MaxDistance(b), b.MaxDistance(a));
+}
+
+TEST(BBoxTest, PointToBoxDistances) {
+  const BBox p = BBox::FromPoint({0.0, 0.0});
+  const BBox b({0.3, 0.4}, {0.5, 0.6});
+  EXPECT_DOUBLE_EQ(p.MinDistance(b), 0.5);  // 3-4-5 triangle to (0.3,0.4)
+  EXPECT_DOUBLE_EQ(p.MaxDistance(b), std::sqrt(0.25 + 0.36));
+}
+
+TEST(BBoxTest, KernelBoxClipsToUnitSquare) {
+  const BBox b = BBox::KernelBox({0.05, 0.95}, 0.1, 0.1);
+  EXPECT_DOUBLE_EQ(b.lo().x, 0.0);
+  EXPECT_DOUBLE_EQ(b.hi().x, 0.15);
+  EXPECT_DOUBLE_EQ(b.lo().y, 0.85);
+  EXPECT_DOUBLE_EQ(b.hi().y, 1.0);
+}
+
+TEST(BBoxTest, KernelBoxZeroBandwidthIsPoint) {
+  const BBox b = BBox::KernelBox({0.4, 0.4}, 0.0, 0.0);
+  EXPECT_TRUE(b.IsPoint());
+}
+
+TEST(BBoxTest, MaxDistanceOfCoincidentPointsIsZero) {
+  const BBox a = BBox::FromPoint({0.2, 0.2});
+  EXPECT_DOUBLE_EQ(a.MaxDistance(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDistance(a), 0.0);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,197 @@
+#include "core/merge.h"
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mqa {
+namespace {
+
+// Pool with explicit pairs: (worker, task, cost, quality).
+PairPool HandPool(int num_workers, int num_tasks,
+                  const std::vector<std::tuple<int, int, double, double>>&
+                      specs) {
+  PairPool pool;
+  pool.pairs_by_task.resize(static_cast<size_t>(num_tasks));
+  pool.pairs_by_worker.resize(static_cast<size_t>(num_workers));
+  for (const auto& [w, t, c, q] : specs) {
+    CandidatePair p;
+    p.worker_index = w;
+    p.task_index = t;
+    p.cost = Uncertain::Fixed(c);
+    p.quality = Uncertain::Fixed(q);
+    p.FinalizeEffectiveQuality();
+    const int32_t id = static_cast<int32_t>(pool.pairs.size());
+    pool.pairs.push_back(p);
+    pool.pairs_by_task[static_cast<size_t>(t)].push_back(id);
+    pool.pairs_by_worker[static_cast<size_t>(w)].push_back(id);
+  }
+  return pool;
+}
+
+void ExpectNoWorkerConflicts(const PairPool& pool,
+                             const std::vector<int32_t>& merged) {
+  std::set<int32_t> workers;
+  std::set<int32_t> tasks;
+  for (const int32_t id : merged) {
+    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
+    EXPECT_TRUE(workers.insert(p.worker_index).second)
+        << "worker " << p.worker_index << " duplicated";
+    EXPECT_TRUE(tasks.insert(p.task_index).second)
+        << "task " << p.task_index << " duplicated";
+  }
+}
+
+TEST(MergeTest, DisjointSetsConcatenate) {
+  const PairPool pool =
+      HandPool(2, 2, {{0, 0, 1.0, 2.0}, {1, 1, 1.0, 3.0}});
+  std::vector<int32_t> merged = {0};
+  MergeResults(pool, &merged, {1});
+  EXPECT_EQ(merged.size(), 2u);
+  ExpectNoWorkerConflicts(pool, merged);
+}
+
+TEST(MergeTest, ConflictKeepsBetterPairAndReassignsLoser) {
+  // Worker 0 valid for both tasks; worker 1 valid for task 1 only
+  // (the paper's Example 5 shape).
+  const PairPool pool = HandPool(
+      2, 2,
+      {{0, 0, 1.0, 5.0}, {0, 1, 1.0, 2.0}, {1, 1, 2.0, 3.0}});
+  std::vector<int32_t> merged = {0};  // <w0, t0> from subproblem M1
+  MergeResults(pool, &merged, {1});   // <w0, t1> from subproblem M2
+  // <w0,t0> (q5) beats <w0,t1> (q2); t1 falls back to worker 1.
+  ASSERT_EQ(merged.size(), 2u);
+  ExpectNoWorkerConflicts(pool, merged);
+  std::set<int32_t> ids(merged.begin(), merged.end());
+  EXPECT_TRUE(ids.count(0) > 0);
+  EXPECT_TRUE(ids.count(2) > 0);
+}
+
+TEST(MergeTest, ConflictIncomingWinsRewritesMerged) {
+  const PairPool pool = HandPool(
+      2, 2,
+      {{0, 0, 1.0, 2.0}, {0, 1, 1.0, 5.0}, {1, 0, 2.0, 3.0}});
+  std::vector<int32_t> merged = {0};  // <w0, t0> (q2)
+  MergeResults(pool, &merged, {1});   // <w0, t1> (q5) wins
+  ASSERT_EQ(merged.size(), 2u);
+  ExpectNoWorkerConflicts(pool, merged);
+  std::set<int32_t> ids(merged.begin(), merged.end());
+  EXPECT_TRUE(ids.count(1) > 0);  // incoming kept
+  EXPECT_TRUE(ids.count(2) > 0);  // t0 reassigned to w1
+}
+
+TEST(MergeTest, LoserTaskDroppedWhenNoWorkerLeft) {
+  // Single worker valid for both tasks; no replacement exists.
+  const PairPool pool =
+      HandPool(1, 2, {{0, 0, 1.0, 5.0}, {0, 1, 1.0, 2.0}});
+  std::vector<int32_t> merged = {0};
+  MergeResults(pool, &merged, {1});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], 0);  // better pair survives, t1 unassigned
+}
+
+TEST(MergeTest, ReplacementPicksHighestQualityAvailable) {
+  const PairPool pool = HandPool(
+      3, 2,
+      {{0, 0, 1.0, 5.0}, {0, 1, 1.0, 2.0}, {1, 1, 2.0, 3.0},
+       {2, 1, 2.0, 4.0}});
+  std::vector<int32_t> merged = {0};
+  MergeResults(pool, &merged, {1});
+  ASSERT_EQ(merged.size(), 2u);
+  ExpectNoWorkerConflicts(pool, merged);
+  // t1's replacement should be worker 2 (q4 > q3).
+  bool found = false;
+  for (const int32_t id : merged) {
+    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
+    if (p.task_index == 1) {
+      EXPECT_EQ(p.worker_index, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MergeTest, MultipleConflictsResolvedInCostOrder) {
+  // Workers 0 and 1 both conflict; each has a fallback worker.
+  const PairPool pool = HandPool(
+      4, 4,
+      {{0, 0, 1.0, 5.0}, {1, 1, 1.0, 5.0},            // merged
+       {0, 2, 3.0, 4.0}, {1, 3, 2.0, 4.0},            // incoming conflicts
+       {2, 2, 1.0, 1.0}, {3, 3, 1.0, 1.0},            // fallbacks
+       {2, 0, 1.0, 0.5}, {3, 1, 1.0, 0.5}});
+  std::vector<int32_t> merged = {0, 1};
+  MergeResults(pool, &merged, {2, 3});
+  EXPECT_EQ(merged.size(), 4u);
+  ExpectNoWorkerConflicts(pool, merged);
+}
+
+TEST(MergeTest, EmptyIncoming) {
+  const PairPool pool = HandPool(1, 1, {{0, 0, 1.0, 1.0}});
+  std::vector<int32_t> merged = {0};
+  MergeResults(pool, &merged, {});
+  EXPECT_EQ(merged, (std::vector<int32_t>{0}));
+}
+
+TEST(MergeTest, EmptyMerged) {
+  const PairPool pool = HandPool(1, 1, {{0, 0, 1.0, 1.0}});
+  std::vector<int32_t> merged;
+  MergeResults(pool, &merged, {0});
+  EXPECT_EQ(merged, (std::vector<int32_t>{0}));
+}
+
+TEST(MergeTest, RandomizedStressNoConflictsEver) {
+  // Random bipartite pools, random disjoint-task partial assignments with
+  // deliberately overlapping workers; the merged result must always be a
+  // valid partial matching and must not lose assignable tasks when a
+  // replacement exists.
+  Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_workers = 4 + static_cast<int>(rng.UniformInt(0, 6));
+    const int num_tasks = 4 + static_cast<int>(rng.UniformInt(0, 6));
+    std::vector<std::tuple<int, int, double, double>> specs;
+    for (int w = 0; w < num_workers; ++w) {
+      for (int t = 0; t < num_tasks; ++t) {
+        if (rng.Bernoulli(0.5)) {
+          specs.emplace_back(w, t, rng.Uniform(0.5, 5.0),
+                             rng.Uniform(0.5, 4.0));
+        }
+      }
+    }
+    const PairPool pool = HandPool(num_workers, num_tasks, specs);
+
+    // Split tasks in two halves and pick one random pair per task.
+    std::vector<int32_t> merged;
+    std::vector<int32_t> incoming;
+    for (int t = 0; t < num_tasks; ++t) {
+      const auto& options = pool.pairs_by_task[static_cast<size_t>(t)];
+      if (options.empty()) continue;
+      const int32_t pick = options[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+      (t < num_tasks / 2 ? merged : incoming).push_back(pick);
+    }
+    // Deduplicate workers *within* each side (valid partial matchings).
+    const auto dedupe = [&](std::vector<int32_t>* side) {
+      std::set<int32_t> seen;
+      std::vector<int32_t> out;
+      for (const int32_t id : *side) {
+        const int32_t w = pool.pairs[static_cast<size_t>(id)].worker_index;
+        if (seen.insert(w).second) out.push_back(id);
+      }
+      *side = out;
+    };
+    dedupe(&merged);
+    dedupe(&incoming);
+    const size_t before = merged.size() + incoming.size();
+
+    MergeResults(pool, &merged, incoming);
+    ExpectNoWorkerConflicts(pool, merged);
+    // Merging never grows the assignment beyond the input union.
+    EXPECT_LE(merged.size(), before) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,195 @@
+#include "prediction/pair_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/valid_pairs.h"
+#include "tests/test_util.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::MakePredictedTask;
+using testing_util::MakePredictedWorker;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+using testing_util::MatrixQualityModel;
+
+// 2 fast workers, 2 tasks, all pairs valid; qualities:
+//   q(w0,t0)=1, q(w0,t1)=2, q(w1,t0)=3, q(w1,t1)=4.
+ProblemInstance FullyConnected(const QualityModel* quality) {
+  std::vector<Worker> workers = {MakeWorker(0, 0.2, 0.2, 2.0),
+                                 MakeWorker(1, 0.8, 0.8, 2.0)};
+  std::vector<Task> tasks = {MakeTask(0, 0.3, 0.3, 1.0),
+                             MakeTask(1, 0.7, 0.7, 1.0)};
+  return ProblemInstance(std::move(workers), 2, std::move(tasks), 2, quality,
+                         1.0, 100.0);
+}
+
+TEST(PairStatisticsTest, Case1PerTaskSamples) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairStatistics stats(inst);
+
+  // Task 0 samples: {1, 3} -> mean 2, var 1, bounds [1, 3].
+  const Uncertain q0 = stats.QualityCase1(0);
+  EXPECT_DOUBLE_EQ(q0.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(q0.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(q0.lb(), 1.0);
+  EXPECT_DOUBLE_EQ(q0.ub(), 3.0);
+
+  // Task 1 samples: {2, 4}.
+  const Uncertain q1 = stats.QualityCase1(1);
+  EXPECT_DOUBLE_EQ(q1.mean(), 3.0);
+}
+
+TEST(PairStatisticsTest, Case2PerWorkerSamples) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairStatistics stats(inst);
+
+  // Worker 0 samples: {1, 2} -> mean 1.5, var 0.25.
+  const Uncertain q = stats.QualityCase2(0);
+  EXPECT_DOUBLE_EQ(q.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(q.variance(), 0.25);
+}
+
+TEST(PairStatisticsTest, Case3GlobalSamples) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairStatistics stats(inst);
+  const Uncertain q = stats.QualityCase3();
+  EXPECT_DOUBLE_EQ(q.mean(), 2.5);  // mean of {1,2,3,4}
+  EXPECT_DOUBLE_EQ(q.variance(), 1.25);
+  EXPECT_EQ(stats.num_valid_pairs(), 4);
+}
+
+TEST(PairStatisticsTest, ExistenceProbabilities) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairStatistics stats(inst);
+  // All pairs valid: n_j = 2 of |W|=2 -> 1; m_i = 2 of |T|=2 -> 1;
+  // u = 4 of 4 -> 1.
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase1(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase2(1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase3(), 1.0);
+}
+
+TEST(PairStatisticsTest, PartialReachabilityLowersExistence) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  // Worker 1 is slow and far: can only reach task 1.
+  std::vector<Worker> workers = {MakeWorker(0, 0.2, 0.2, 2.0),
+                                 MakeWorker(1, 0.9, 0.9, 0.3)};
+  std::vector<Task> tasks = {MakeTask(0, 0.1, 0.1, 1.0),
+                             MakeTask(1, 0.8, 0.8, 1.0)};
+  const ProblemInstance inst(std::move(workers), 2, std::move(tasks), 2,
+                             &quality, 1.0, 100.0);
+  const PairStatistics stats(inst);
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase1(0), 0.5);  // only w0 reaches t0
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase2(1), 0.5);  // w1 reaches only t1
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase3(), 0.75);  // 3 of 4 pairs valid
+  EXPECT_DOUBLE_EQ(stats.AvgWorkersPerTask(), 1.5);
+}
+
+TEST(PairStatisticsTest, EmptyInstance) {
+  const MatrixQualityModel quality(std::vector<std::vector<double>>{});
+  const ProblemInstance inst({}, 0, {}, 0, &quality, 1.0, 10.0);
+  const PairStatistics stats(inst);
+  EXPECT_EQ(stats.num_valid_pairs(), 0);
+  EXPECT_DOUBLE_EQ(stats.ExistenceCase3(), 0.0);
+  EXPECT_TRUE(stats.QualityCase3().IsFixed());
+}
+
+// ------------------------------------------------------- BuildPairPool
+
+TEST(BuildPairPoolTest, CurrentPairsAreFixed) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairPool pool = BuildPairPool(inst);
+  ASSERT_EQ(pool.pairs.size(), 4u);
+  for (const auto& p : pool.pairs) {
+    EXPECT_FALSE(p.involves_predicted);
+    EXPECT_TRUE(p.cost.IsFixed());
+    EXPECT_TRUE(p.quality.IsFixed());
+    EXPECT_DOUBLE_EQ(p.existence, 1.0);
+  }
+}
+
+TEST(BuildPairPoolTest, PredictedPairsGetCase1Stats) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  std::vector<Worker> workers = {
+      MakeWorker(0, 0.2, 0.2, 2.0), MakeWorker(1, 0.8, 0.8, 2.0),
+      MakePredictedWorker(-1, BBox({0.25, 0.25}, {0.35, 0.35}), 2.0)};
+  // Deadlines past one instance so the predicted worker's delayed
+  // arrival still leaves travel time.
+  std::vector<Task> tasks = {MakeTask(0, 0.3, 0.3, 2.0),
+                             MakeTask(1, 0.7, 0.7, 2.0)};
+  const ProblemInstance inst(std::move(workers), 2, std::move(tasks), 2,
+                             &quality, 1.0, 100.0);
+  const PairPool pool = BuildPairPool(inst);
+
+  int predicted_pairs = 0;
+  for (const auto& p : pool.pairs) {
+    if (!p.involves_predicted) continue;
+    ++predicted_pairs;
+    EXPECT_EQ(p.worker_index, 2);
+    // Case 1 quality: per-task current samples.
+    if (p.task_index == 0) {
+      EXPECT_DOUBLE_EQ(p.quality.mean(), 2.0);  // {1,3}
+    } else {
+      EXPECT_DOUBLE_EQ(p.quality.mean(), 3.0);  // {2,4}
+    }
+    EXPECT_DOUBLE_EQ(p.existence, 1.0);
+    EXPECT_FALSE(p.cost.IsFixed());
+    EXPECT_GT(p.cost.ub(), p.cost.lb());
+  }
+  EXPECT_EQ(predicted_pairs, 2);
+}
+
+TEST(BuildPairPoolTest, ExcludePredictedFlag) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  std::vector<Worker> workers = {
+      MakeWorker(0, 0.2, 0.2, 2.0),
+      MakePredictedWorker(-1, BBox({0.25, 0.25}, {0.35, 0.35}), 2.0)};
+  std::vector<Task> tasks = {MakeTask(0, 0.3, 0.3, 2.0)};
+  const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
+                             &quality, 1.0, 100.0);
+  const PairPool with = BuildPairPool(inst, /*include_predicted=*/true);
+  const PairPool without = BuildPairPool(inst, /*include_predicted=*/false);
+  EXPECT_EQ(with.pairs.size(), 2u);
+  EXPECT_EQ(without.pairs.size(), 1u);
+}
+
+TEST(BuildPairPoolTest, CostScalesWithUnitPrice) {
+  const MatrixQualityModel quality(
+      std::vector<std::vector<double>>{{1.0}});
+  std::vector<Worker> workers = {MakeWorker(0, 0.0, 0.0, 2.0)};
+  std::vector<Task> tasks = {MakeTask(0, 0.3, 0.4, 1.0)};
+  const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
+                             &quality, 10.0, 100.0);
+  const PairPool pool = BuildPairPool(inst);
+  ASSERT_EQ(pool.pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pool.pairs[0].cost.mean(), 5.0);  // 10 * 0.5
+}
+
+TEST(BuildPairPoolTest, AdjacencyListsConsistent) {
+  const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
+  const auto inst = FullyConnected(&quality);
+  const PairPool pool = BuildPairPool(inst);
+  size_t total_by_task = 0;
+  for (const auto& list : pool.pairs_by_task) total_by_task += list.size();
+  size_t total_by_worker = 0;
+  for (const auto& list : pool.pairs_by_worker) {
+    total_by_worker += list.size();
+  }
+  EXPECT_EQ(total_by_task, pool.pairs.size());
+  EXPECT_EQ(total_by_worker, pool.pairs.size());
+  for (size_t j = 0; j < pool.pairs_by_task.size(); ++j) {
+    for (const int32_t id : pool.pairs_by_task[j]) {
+      EXPECT_EQ(pool.pairs[static_cast<size_t>(id)].task_index,
+                static_cast<int32_t>(j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqa

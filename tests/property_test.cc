@@ -1,0 +1,165 @@
+// Property-based suites: every assigner must uphold the MQA invariants on
+// randomized instances across a parameter sweep (Def. 3/4 of the paper):
+//   * emitted pairs form a valid matching of current entities;
+//   * every pair meets its deadline;
+//   * total cost stays within the per-instance budget;
+//   * results are deterministic for a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include "core/assigner.h"
+#include "model/assignment.h"
+#include "quality/range_quality.h"
+#include "tests/test_util.h"
+
+namespace mqa {
+namespace {
+
+struct PropertyCase {
+  AssignerKind kind;
+  int num_workers;
+  int num_tasks;
+  double budget;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& c = info.param;
+  std::string name = AssignerKindToString(c.kind);
+  // gtest names must be alphanumeric.
+  for (char& ch : name) {
+    if (ch == '&') ch = 'n';
+  }
+  name += "_w" + std::to_string(c.num_workers);
+  name += "_t" + std::to_string(c.num_tasks);
+  name += "_b" + std::to_string(static_cast<int>(c.budget * 10));
+  name += "_s" + std::to_string(c.seed);
+  return name;
+}
+
+class AssignerPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AssignerPropertyTest, InvariantsHold) {
+  const PropertyCase& c = GetParam();
+  const RangeQualityModel quality(0.5, 2.5, c.seed);
+  Rng rng(c.seed);
+  testing_util::RandomInstanceOptions opts;
+  opts.num_workers = c.num_workers;
+  opts.num_tasks = c.num_tasks;
+  opts.budget = c.budget;
+  const auto inst = testing_util::RandomInstance(opts, &quality, &rng);
+
+  AssignerOptions aopts;
+  aopts.seed = c.seed;
+  auto assigner = CreateAssigner(c.kind, aopts);
+  const auto result = assigner->Assign(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateAssignment(inst, result.value()).ok())
+      << ValidateAssignment(inst, result.value());
+
+  // Totals are non-negative and bounded by instance size.
+  EXPECT_GE(result.value().total_quality, 0.0);
+  EXPECT_LE(result.value().pairs.size(),
+            static_cast<size_t>(std::min(c.num_workers, c.num_tasks)));
+}
+
+TEST_P(AssignerPropertyTest, DeterministicForFixedSeed) {
+  const PropertyCase& c = GetParam();
+  const RangeQualityModel quality(0.5, 2.5, c.seed);
+  Rng rng(c.seed);
+  testing_util::RandomInstanceOptions opts;
+  opts.num_workers = c.num_workers;
+  opts.num_tasks = c.num_tasks;
+  opts.budget = c.budget;
+  const auto inst = testing_util::RandomInstance(opts, &quality, &rng);
+
+  AssignerOptions aopts;
+  aopts.seed = c.seed;
+  auto a1 = CreateAssigner(c.kind, aopts);
+  auto a2 = CreateAssigner(c.kind, aopts);
+  const auto r1 = a1->Assign(inst);
+  const auto r2 = a2->Assign(inst);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1.value().total_quality, r2.value().total_quality);
+  EXPECT_DOUBLE_EQ(r1.value().total_cost, r2.value().total_cost);
+  ASSERT_EQ(r1.value().pairs.size(), r2.value().pairs.size());
+  for (size_t i = 0; i < r1.value().pairs.size(); ++i) {
+    EXPECT_EQ(r1.value().pairs[i], r2.value().pairs[i]);
+  }
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  const AssignerKind kinds[] = {AssignerKind::kGreedy,
+                                AssignerKind::kDivideConquer,
+                                AssignerKind::kRandom};
+  const std::pair<int, int> sizes[] = {{4, 8}, {8, 4}, {12, 12}, {20, 10}};
+  const double budgets[] = {0.5, 2.0, 50.0};
+  uint64_t seed = 1;
+  for (const auto kind : kinds) {
+    for (const auto& [w, t] : sizes) {
+      for (const double b : budgets) {
+        cases.push_back({kind, w, t, b, seed++});
+      }
+    }
+  }
+  // The exact oracle only at small sizes.
+  cases.push_back({AssignerKind::kExact, 5, 5, 1.0, 101});
+  cases.push_back({AssignerKind::kExact, 6, 4, 10.0, 102});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AssignerPropertyTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+// ------------------------------------------------------ quality ordering
+
+class QualityOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QualityOrderingTest, GreedyBeatsRandomOnAggregate) {
+  const uint64_t seed = GetParam();
+  const RangeQualityModel quality(0.25, 4.0, seed);
+  Rng rng(seed);
+  double greedy = 0.0;
+  double random = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    testing_util::RandomInstanceOptions opts;
+    opts.num_workers = 15;
+    opts.num_tasks = 15;
+    opts.budget = 2.0;
+    const auto inst = testing_util::RandomInstance(opts, &quality, &rng);
+    auto g = CreateAssigner(AssignerKind::kGreedy);
+    auto r = CreateAssigner(AssignerKind::kRandom,
+                            {.seed = seed + static_cast<uint64_t>(trial)});
+    greedy += g->Assign(inst).value().total_quality;
+    random += r->Assign(inst).value().total_quality;
+  }
+  EXPECT_GE(greedy, random);
+}
+
+TEST_P(QualityOrderingTest, ExactIsUpperBoundForHeuristics) {
+  const uint64_t seed = GetParam();
+  const RangeQualityModel quality(0.5, 1.5, seed);
+  Rng rng(seed * 31 + 7);
+  testing_util::RandomInstanceOptions opts;
+  opts.num_workers = 6;
+  opts.num_tasks = 6;
+  opts.budget = 1.2;
+  const auto inst = testing_util::RandomInstance(opts, &quality, &rng);
+  auto exact = CreateAssigner(AssignerKind::kExact);
+  const double optimum = exact->Assign(inst).value().total_quality;
+  for (const AssignerKind kind :
+       {AssignerKind::kGreedy, AssignerKind::kDivideConquer,
+        AssignerKind::kRandom}) {
+    auto heuristic = CreateAssigner(kind, {.seed = seed});
+    EXPECT_LE(heuristic->Assign(inst).value().total_quality, optimum + 1e-9)
+        << AssignerKindToString(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityOrderingTest,
+                         ::testing::Values(3, 17, 29, 71, 113));
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "quality/range_quality.h"
+#include "quality/score_hash.h"
+#include "quality/skill_quality.h"
+#include "tests/test_util.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+TEST(ScoreHashTest, UniformInUnitInterval) {
+  uint64_t state = 12345;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    state = internal::SplitMix64(state);
+    const double u = internal::HashUniform(state);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(ScoreHashTest, MixIdsSensitiveToAllInputs) {
+  const uint64_t base = internal::MixIds(1, 10, 20);
+  EXPECT_NE(base, internal::MixIds(2, 10, 20));
+  EXPECT_NE(base, internal::MixIds(1, 11, 20));
+  EXPECT_NE(base, internal::MixIds(1, 10, 21));
+  EXPECT_NE(internal::MixIds(1, 10, 20), internal::MixIds(1, 20, 10));
+}
+
+TEST(RangeQualityTest, DeterministicPerPair) {
+  const RangeQualityModel model(1.0, 2.0, 7);
+  const Worker w = MakeWorker(3, 0.1, 0.1, 0.2);
+  const Task t = MakeTask(5, 0.5, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(model.Score(w, t), model.Score(w, t));
+}
+
+TEST(RangeQualityTest, ScoresWithinRange) {
+  const RangeQualityModel model(0.25, 0.5, 11);
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 50; ++j) {
+      const double q = model.Score(MakeWorker(i, 0, 0, 0.2),
+                                   MakeTask(j, 1, 1, 1.0));
+      EXPECT_GE(q, 0.25);
+      EXPECT_LE(q, 0.5);
+    }
+  }
+}
+
+TEST(RangeQualityTest, MeanNearMidpoint) {
+  const RangeQualityModel model(1.0, 2.0, 13);
+  double sum = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      sum += model.Score(MakeWorker(i, 0, 0, 0.2), MakeTask(j, 1, 1, 1.0));
+    }
+  }
+  EXPECT_NEAR(sum / (n * n), 1.5, 0.01);
+}
+
+TEST(RangeQualityTest, DifferentSeedsGiveDifferentScores) {
+  const RangeQualityModel a(1.0, 2.0, 1);
+  const RangeQualityModel b(1.0, 2.0, 2);
+  const Worker w = MakeWorker(3, 0.1, 0.1, 0.2);
+  const Task t = MakeTask(5, 0.5, 0.5, 1.0);
+  EXPECT_NE(a.Score(w, t), b.Score(w, t));
+}
+
+TEST(RangeQualityTest, DegenerateRange) {
+  const RangeQualityModel model(2.0, 2.0, 3);
+  EXPECT_DOUBLE_EQ(
+      model.Score(MakeWorker(0, 0, 0, 0.2), MakeTask(0, 1, 1, 1.0)), 2.0);
+}
+
+TEST(SkillQualityTest, TaskTypeStableAndInRange) {
+  const SkillQualityModel model(4, 1.0, 5);
+  for (TaskId id = 0; id < 100; ++id) {
+    const int type = model.TaskType(id);
+    EXPECT_GE(type, 0);
+    EXPECT_LT(type, 4);
+    EXPECT_EQ(type, model.TaskType(id));
+  }
+}
+
+TEST(SkillQualityTest, ScoreCorrelatedPerWorkerAndType) {
+  const SkillQualityModel model(4, 2.0, 5);
+  // Two tasks of the same type get the same score from one worker.
+  TaskId t1 = -1;
+  TaskId t2 = -1;
+  for (TaskId id = 0; id < 100 && t2 < 0; ++id) {
+    if (model.TaskType(id) != 0) continue;
+    if (t1 < 0) {
+      t1 = id;
+    } else {
+      t2 = id;
+    }
+  }
+  ASSERT_GE(t2, 0) << "no two tasks of type 0 in the first 100 ids";
+  const Worker w = MakeWorker(9, 0, 0, 0.2);
+  EXPECT_DOUBLE_EQ(model.Score(w, MakeTask(t1, 0, 0, 1.0)),
+                   model.Score(w, MakeTask(t2, 0, 0, 1.0)));
+}
+
+TEST(SkillQualityTest, ExpertiseBounded) {
+  const SkillQualityModel model(3, 1.0, 5);
+  for (WorkerId id = 0; id < 200; ++id) {
+    for (int type = 0; type < 3; ++type) {
+      const double e = model.Expertise(id, type);
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqa

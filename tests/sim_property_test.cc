@@ -1,0 +1,142 @@
+// Parameterized end-to-end properties of the simulator across the full
+// configuration cross-product: every algorithm, with/without prediction,
+// with/without worker rejoin, on synthetic and check-in workloads. Each
+// run must satisfy the per-instance MQA constraints and the aggregate
+// accounting identities.
+
+#include <gtest/gtest.h>
+
+#include "core/assigner.h"
+#include "quality/range_quality.h"
+#include "sim/simulator.h"
+#include "workload/checkin.h"
+#include "workload/synthetic.h"
+
+namespace mqa {
+namespace {
+
+struct SimCase {
+  AssignerKind kind;
+  bool prediction;
+  bool rejoin;
+  bool checkin;  // workload flavor
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SimCase>& info) {
+  const SimCase& c = info.param;
+  std::string name = AssignerKindToString(c.kind);
+  for (char& ch : name) {
+    if (ch == '&') ch = 'n';
+  }
+  name += c.prediction ? "_WP" : "_WoP";
+  name += c.rejoin ? "_rejoin" : "_replay";
+  name += c.checkin ? "_checkin" : "_synthetic";
+  return name;
+}
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorPropertyTest, ConstraintsAndAccountingHold) {
+  const SimCase& c = GetParam();
+  ArrivalStream stream;
+  if (c.checkin) {
+    CheckinConfig w;
+    w.num_workers = 240;
+    w.num_tasks = 330;
+    w.num_instances = 6;
+    w.seed = 11;
+    stream = GenerateCheckin(w);
+  } else {
+    SyntheticConfig w;
+    w.num_workers = 300;
+    w.num_tasks = 300;
+    w.num_instances = 6;
+    w.seed = 11;
+    stream = GenerateSynthetic(w);
+  }
+  const RangeQualityModel quality(1.0, 2.0, 13);
+
+  SimulatorConfig config;
+  config.budget = 40.0;
+  config.unit_price = 10.0;
+  config.use_prediction = c.prediction;
+  config.prediction.gamma = 8;
+  config.prediction.window = 3;
+  config.workers_rejoin = c.rejoin;
+  // validate_assignments (on by default) makes the simulator itself the
+  // assertion: any Def. 3/4 violation fails the run.
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(c.kind, {.seed = 99});
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok()) << summary.status();
+
+  const SimulationSummary& s = summary.value();
+  ASSERT_EQ(s.per_instance.size(), 6u);
+  double quality_sum = 0.0;
+  double cost_sum = 0.0;
+  int64_t assigned_sum = 0;
+  for (const InstanceMetrics& m : s.per_instance) {
+    EXPECT_LE(m.cost, config.budget + 1e-6) << "instance " << m.instance;
+    EXPECT_GE(m.quality, 0.0);
+    EXPECT_LE(m.assigned, std::min(m.workers_available, m.tasks_available));
+    if (!c.prediction) {
+      EXPECT_EQ(m.predicted_workers, 0);
+      EXPECT_EQ(m.predicted_tasks, 0);
+      EXPECT_LT(m.worker_prediction_error, 0.0);
+    }
+    quality_sum += m.quality;
+    cost_sum += m.cost;
+    assigned_sum += m.assigned;
+  }
+  EXPECT_DOUBLE_EQ(s.total_quality, quality_sum);
+  EXPECT_DOUBLE_EQ(s.total_cost, cost_sum);
+  EXPECT_EQ(s.total_assigned, assigned_sum);
+}
+
+TEST_P(SimulatorPropertyTest, RerunIsDeterministic) {
+  const SimCase& c = GetParam();
+  if (c.checkin) return;  // one workload flavor suffices for determinism
+  SyntheticConfig w;
+  w.num_workers = 200;
+  w.num_tasks = 200;
+  w.num_instances = 4;
+  w.seed = 17;
+  const ArrivalStream stream = GenerateSynthetic(w);
+  const RangeQualityModel quality(1.0, 2.0, 13);
+
+  SimulatorConfig config;
+  config.budget = 30.0;
+  config.unit_price = 10.0;
+  config.use_prediction = c.prediction;
+  config.prediction.gamma = 8;
+  config.workers_rejoin = c.rejoin;
+
+  const auto run_once = [&]() {
+    Simulator sim(config, &quality);
+    auto assigner = CreateAssigner(c.kind, {.seed = 5});
+    return sim.Run(stream, assigner.get()).value().total_quality;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+std::vector<SimCase> MakeSimCases() {
+  std::vector<SimCase> cases;
+  for (const AssignerKind kind :
+       {AssignerKind::kGreedy, AssignerKind::kDivideConquer,
+        AssignerKind::kRandom}) {
+    for (const bool prediction : {true, false}) {
+      for (const bool rejoin : {true, false}) {
+        for (const bool checkin : {true, false}) {
+          cases.push_back({kind, prediction, rejoin, checkin});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cross, SimulatorPropertyTest,
+                         ::testing::ValuesIn(MakeSimCases()), CaseName);
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,256 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/range_quality.h"
+#include "tests/test_util.h"
+#include "workload/synthetic.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::ConstantQualityModel;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+ArrivalStream TinyStream() {
+  // Instance 0: one worker near one task. Instance 1: another pair.
+  ArrivalStream stream;
+  stream.workers.resize(2);
+  stream.tasks.resize(2);
+  Worker w0 = MakeWorker(0, 0.1, 0.1, 0.5);
+  w0.arrival = 0;
+  Worker w1 = MakeWorker(1, 0.8, 0.8, 0.5);
+  w1.arrival = 1;
+  Task t0 = MakeTask(0, 0.2, 0.1, 1.5);
+  t0.arrival = 0;
+  Task t1 = MakeTask(1, 0.9, 0.8, 1.5);
+  t1.arrival = 1;
+  stream.workers[0].push_back(w0);
+  stream.workers[1].push_back(w1);
+  stream.tasks[0].push_back(t0);
+  stream.tasks[1].push_back(t1);
+  return stream;
+}
+
+TEST(SimulatorTest, AssignsBothPairs) {
+  const ConstantQualityModel quality(2.0);
+  SimulatorConfig config;
+  config.budget = 100.0;
+  config.unit_price = 1.0;
+  config.prediction.gamma = 4;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(TinyStream(), assigner.get());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().total_assigned, 2);
+  EXPECT_DOUBLE_EQ(summary.value().total_quality, 4.0);
+  EXPECT_EQ(summary.value().per_instance.size(), 2u);
+}
+
+TEST(SimulatorTest, UnassignedTasksCarryOverAndExpire) {
+  const ConstantQualityModel quality(1.0);
+  // One task, no workers at instance 0; worker arrives at instance 1.
+  ArrivalStream stream;
+  stream.workers.resize(3);
+  stream.tasks.resize(3);
+  Task t = MakeTask(0, 0.5, 0.5, 2.5);  // survives 2 carryovers
+  t.arrival = 0;
+  stream.tasks[0].push_back(t);
+  Worker w = MakeWorker(0, 0.5, 0.45, 0.5);
+  w.arrival = 2;
+  stream.workers[2].push_back(w);
+
+  SimulatorConfig config;
+  config.budget = 100.0;
+  config.unit_price = 1.0;
+  config.use_prediction = false;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  // Task carried from 0 to 2 (deadline 2.5 -> 1.5 -> 0.5) and assigned.
+  EXPECT_EQ(summary.value().per_instance[2].tasks_available, 1);
+  EXPECT_EQ(summary.value().per_instance[2].assigned, 1);
+}
+
+TEST(SimulatorTest, ExpiredTasksDropOut) {
+  const ConstantQualityModel quality(1.0);
+  ArrivalStream stream;
+  stream.workers.resize(3);
+  stream.tasks.resize(3);
+  Task t = MakeTask(0, 0.5, 0.5, 0.8);  // dies after one instance
+  t.arrival = 0;
+  stream.tasks[0].push_back(t);
+
+  SimulatorConfig config;
+  config.use_prediction = false;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().per_instance[0].tasks_available, 1);
+  EXPECT_EQ(summary.value().per_instance[1].tasks_available, 0);
+  EXPECT_EQ(summary.value().total_assigned, 0);
+}
+
+TEST(SimulatorTest, WorkersRejoinAfterFinishingTasks) {
+  const ConstantQualityModel quality(1.0);
+  ArrivalStream stream;
+  stream.workers.resize(3);
+  stream.tasks.resize(3);
+  Worker w = MakeWorker(0, 0.1, 0.1, 0.5);
+  w.arrival = 0;
+  stream.workers[0].push_back(w);
+  Task t0 = MakeTask(0, 0.15, 0.1, 1.0);
+  t0.arrival = 0;
+  stream.tasks[0].push_back(t0);
+  Task t1 = MakeTask(1, 0.2, 0.1, 1.0);
+  t1.arrival = 1;
+  stream.tasks[1].push_back(t1);
+
+  SimulatorConfig config;
+  config.use_prediction = false;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  // The single worker does t0 at instance 0, rejoins at instance 1 at
+  // t0's location, and takes t1.
+  EXPECT_EQ(summary.value().per_instance[1].workers_available, 1);
+  EXPECT_EQ(summary.value().total_assigned, 2);
+}
+
+TEST(SimulatorTest, RejoinDisabledKeepsWorkersOut) {
+  const ConstantQualityModel quality(1.0);
+  ArrivalStream stream;
+  stream.workers.resize(2);
+  stream.tasks.resize(2);
+  Worker w = MakeWorker(0, 0.1, 0.1, 0.5);
+  w.arrival = 0;
+  stream.workers[0].push_back(w);
+  Task t0 = MakeTask(0, 0.15, 0.1, 1.0);
+  t0.arrival = 0;
+  stream.tasks[0].push_back(t0);
+  Task t1 = MakeTask(1, 0.2, 0.1, 1.0);
+  t1.arrival = 1;
+  stream.tasks[1].push_back(t1);
+
+  SimulatorConfig config;
+  config.use_prediction = false;
+  config.workers_rejoin = false;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().per_instance[1].workers_available, 0);
+  EXPECT_EQ(summary.value().total_assigned, 1);
+}
+
+TEST(SimulatorTest, PredictionErrorsReportedFromSecondInstance) {
+  const RangeQualityModel quality(1.0, 2.0, 5);
+  SyntheticConfig wconfig;
+  wconfig.num_workers = 200;
+  wconfig.num_tasks = 200;
+  wconfig.num_instances = 5;
+  const ArrivalStream stream = GenerateSynthetic(wconfig);
+
+  SimulatorConfig config;
+  config.budget = 50.0;
+  config.unit_price = 5.0;
+  config.prediction.gamma = 4;
+  config.prediction.window = 2;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LT(summary.value().per_instance[0].worker_prediction_error, 0.0);
+  for (size_t p = 1; p < summary.value().per_instance.size(); ++p) {
+    EXPECT_GE(summary.value().per_instance[p].worker_prediction_error, 0.0)
+        << "instance " << p;
+  }
+  EXPECT_GE(summary.value().avg_worker_prediction_error, 0.0);
+}
+
+TEST(SimulatorTest, WithoutPredictionNoPredictedEntities) {
+  const RangeQualityModel quality(1.0, 2.0, 5);
+  SyntheticConfig wconfig;
+  wconfig.num_workers = 100;
+  wconfig.num_tasks = 100;
+  wconfig.num_instances = 4;
+  const ArrivalStream stream = GenerateSynthetic(wconfig);
+
+  SimulatorConfig config;
+  config.use_prediction = false;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  for (const auto& m : summary.value().per_instance) {
+    EXPECT_EQ(m.predicted_workers, 0);
+    EXPECT_EQ(m.predicted_tasks, 0);
+  }
+}
+
+TEST(SimulatorTest, BudgetRespectedEveryInstance) {
+  const RangeQualityModel quality(1.0, 2.0, 5);
+  SyntheticConfig wconfig;
+  wconfig.num_workers = 300;
+  wconfig.num_tasks = 300;
+  wconfig.num_instances = 5;
+  const ArrivalStream stream = GenerateSynthetic(wconfig);
+
+  SimulatorConfig config;
+  config.budget = 20.0;
+  config.unit_price = 10.0;
+  config.prediction.gamma = 4;
+  Simulator sim(config, &quality);
+  for (const AssignerKind kind :
+       {AssignerKind::kGreedy, AssignerKind::kDivideConquer,
+        AssignerKind::kRandom}) {
+    auto assigner = CreateAssigner(kind);
+    const auto summary = sim.Run(stream, assigner.get());
+    ASSERT_TRUE(summary.ok()) << assigner->name();
+    for (const auto& m : summary.value().per_instance) {
+      EXPECT_LE(m.cost, config.budget + 1e-6)
+          << assigner->name() << " instance " << m.instance;
+    }
+  }
+}
+
+TEST(SimulatorTest, RejectsMalformedStream) {
+  const ConstantQualityModel quality(1.0);
+  ArrivalStream stream;
+  stream.workers.resize(2);
+  stream.tasks.resize(1);  // mismatched
+  SimulatorConfig config;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  EXPECT_FALSE(sim.Run(stream, assigner.get()).ok());
+}
+
+TEST(SimulatorTest, SummaryAggregatesConsistent) {
+  const RangeQualityModel quality(1.0, 2.0, 5);
+  SyntheticConfig wconfig;
+  wconfig.num_workers = 150;
+  wconfig.num_tasks = 150;
+  wconfig.num_instances = 5;
+  const ArrivalStream stream = GenerateSynthetic(wconfig);
+  SimulatorConfig config;
+  config.prediction.gamma = 4;
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(stream, assigner.get());
+  ASSERT_TRUE(summary.ok());
+  double q = 0.0;
+  int64_t a = 0;
+  for (const auto& m : summary.value().per_instance) {
+    q += m.quality;
+    a += m.assigned;
+  }
+  EXPECT_DOUBLE_EQ(summary.value().total_quality, q);
+  EXPECT_EQ(summary.value().total_assigned, a);
+}
+
+}  // namespace
+}  // namespace mqa

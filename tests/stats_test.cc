@@ -1,0 +1,204 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/kde.h"
+#include "stats/linear_regression.h"
+#include "stats/normal.h"
+#include "stats/running_stats.h"
+#include "stats/uniform_moments.h"
+
+namespace mqa {
+namespace {
+
+// ---------------------------------------------------------------- normal
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(StdNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-6.0), 9.865876450377018e-10, 1e-14);
+}
+
+TEST(NormalTest, CdfMonotone) {
+  double prev = 0.0;
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    const double c = StdNormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalTest, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(StdNormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_DOUBLE_EQ(StdNormalPdf(1.3), StdNormalPdf(-1.3));
+  EXPECT_GT(StdNormalPdf(0.0), StdNormalPdf(0.5));
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (const double p : {0.001, 0.025, 0.2, 0.5, 0.7, 0.975, 0.999}) {
+    EXPECT_NEAR(StdNormalCdf(StdNormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(StdNormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(StdNormalQuantile(0.975), 1.959963984540054, 1e-8);
+}
+
+// --------------------------------------------------------- running stats
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(1.0, 3.0);
+    all.Add(v);
+    (i < 200 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+// ----------------------------------------------------- linear regression
+
+TEST(LinearRegressionTest, ExactLine) {
+  const auto fit =
+      LinearRegression::Fit({1.0, 2.0, 3.0, 4.0}, {3.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(fit.slope(), 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept(), 1.0, 1e-12);
+  EXPECT_NEAR(fit.Predict(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearRegressionTest, ConstantSeries) {
+  const auto fit = LinearRegression::FitSeries({4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.slope(), 0.0, 1e-12);
+  EXPECT_NEAR(fit.PredictNext(3), 4.0, 1e-12);
+}
+
+TEST(LinearRegressionTest, SingleSampleFallsBackToMean) {
+  const auto fit = LinearRegression::FitSeries({7.0});
+  EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(fit.PredictNext(1), 7.0);
+}
+
+TEST(LinearRegressionTest, PredictNextExtrapolatesTrend) {
+  // Rising series 1,2,3 -> next is 4.
+  const auto fit = LinearRegression::FitSeries({1.0, 2.0, 3.0});
+  EXPECT_NEAR(fit.PredictNext(3), 4.0, 1e-12);
+}
+
+TEST(LinearRegressionTest, LeastSquaresResidualOrthogonality) {
+  // For OLS, residuals sum to zero and are orthogonal to x.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {1.1, 1.9, 3.2, 3.8, 5.3};
+  const auto fit = LinearRegression::Fit(xs, ys);
+  double res_sum = 0.0;
+  double res_dot_x = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - fit.Predict(xs[i]);
+    res_sum += r;
+    res_dot_x += r * xs[i];
+  }
+  EXPECT_NEAR(res_sum, 0.0, 1e-10);
+  EXPECT_NEAR(res_dot_x, 0.0, 1e-10);
+}
+
+// ------------------------------------------------------- uniform moments
+
+TEST(UniformMomentsTest, MatchesNumericIntegration) {
+  const double lb = 0.2;
+  const double ub = 0.9;
+  for (int k = 0; k <= 5; ++k) {
+    // Midpoint rule with fine steps.
+    const int steps = 200000;
+    double sum = 0.0;
+    for (int s = 0; s < steps; ++s) {
+      const double x = lb + (s + 0.5) * (ub - lb) / steps;
+      sum += std::pow(x, k);
+    }
+    const double numeric = sum / steps;
+    EXPECT_NEAR(UniformRawMoment(lb, ub, k), numeric, 1e-8) << "k=" << k;
+  }
+}
+
+TEST(UniformMomentsTest, DegenerateSupport) {
+  EXPECT_DOUBLE_EQ(UniformRawMoment(0.5, 0.5, 3), 0.125);
+  EXPECT_DOUBLE_EQ(UniformRawMoment(0.5, 0.5, 0), 1.0);
+}
+
+TEST(UniformMomentsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(UniformMean(0.0, 1.0), 0.5);
+  EXPECT_NEAR(UniformVariance(0.0, 1.0), 1.0 / 12.0, 1e-15);
+  // Var = E(X^2) - E(X)^2 must agree with the raw moments.
+  const double lb = 0.3;
+  const double ub = 0.8;
+  const double var = UniformRawMoment(lb, ub, 2) -
+                     std::pow(UniformRawMoment(lb, ub, 1), 2);
+  EXPECT_NEAR(UniformVariance(lb, ub), var, 1e-12);
+}
+
+// ------------------------------------------------------------------ kde
+
+TEST(KdeTest, BandwidthFormula) {
+  // h = sigma * 1.8431 * n^(-1/5).
+  EXPECT_NEAR(UniformKernelBandwidth(0.1, 32, 0.5),
+              0.1 * 1.8431 * std::pow(32.0, -0.2), 1e-12);
+}
+
+TEST(KdeTest, BandwidthShrinksWithSamples) {
+  const double h1 = UniformKernelBandwidth(0.1, 10, 0.5);
+  const double h2 = UniformKernelBandwidth(0.1, 1000, 0.5);
+  EXPECT_GT(h1, h2);
+}
+
+TEST(KdeTest, FallbackWhenNoSignal) {
+  EXPECT_DOUBLE_EQ(UniformKernelBandwidth(0.0, 100, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(UniformKernelBandwidth(0.1, 0, 0.25), 0.25);
+}
+
+}  // namespace
+}  // namespace mqa

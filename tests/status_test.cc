@@ -1,0 +1,82 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mqa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad gamma");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad gamma");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad gamma");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  const auto fails = []() -> Status {
+    MQA_RETURN_NOT_OK(Status::NotFound("missing"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+
+  const auto passes = []() -> Status {
+    MQA_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(3), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.value_or(3), 3);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  const auto add_one = [](Result<int> in) -> Result<int> {
+    int v = 0;
+    MQA_ASSIGN_OR_RETURN(v, in);
+    return v + 1;
+  };
+  EXPECT_EQ(add_one(41).value(), 42);
+  EXPECT_FALSE(add_one(Status::NotFound("x")).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,123 @@
+#ifndef MQA_TESTS_TEST_UTIL_H_
+#define MQA_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/problem_instance.h"
+#include "model/task.h"
+#include "model/worker.h"
+#include "quality/quality_model.h"
+
+namespace mqa {
+namespace testing_util {
+
+/// Worker at a fixed point.
+inline Worker MakeWorker(WorkerId id, double x, double y, double velocity) {
+  Worker w;
+  w.id = id;
+  w.location = BBox::FromPoint({x, y});
+  w.velocity = velocity;
+  return w;
+}
+
+/// Predicted worker over a kernel box.
+inline Worker MakePredictedWorker(WorkerId id, const BBox& box,
+                                  double velocity) {
+  Worker w;
+  w.id = id;
+  w.location = box;
+  w.velocity = velocity;
+  w.predicted = true;
+  return w;
+}
+
+/// Task at a fixed point.
+inline Task MakeTask(TaskId id, double x, double y, double deadline) {
+  Task t;
+  t.id = id;
+  t.location = BBox::FromPoint({x, y});
+  t.deadline = deadline;
+  return t;
+}
+
+/// Predicted task over a kernel box.
+inline Task MakePredictedTask(TaskId id, const BBox& box, double deadline) {
+  Task t;
+  t.id = id;
+  t.location = box;
+  t.deadline = deadline;
+  t.predicted = true;
+  return t;
+}
+
+/// Quality model backed by an explicit dense matrix indexed by
+/// (worker.id, task.id); ids outside the matrix score `fallback`.
+/// Useful for reconstructing the paper's running example (Table I).
+class MatrixQualityModel : public QualityModel {
+ public:
+  MatrixQualityModel(std::vector<std::vector<double>> scores,
+                     double fallback = 0.0)
+      : scores_(std::move(scores)), fallback_(fallback) {}
+
+  double Score(const Worker& worker, const Task& task) const override {
+    if (worker.id < 0 || task.id < 0) return fallback_;
+    const auto i = static_cast<size_t>(worker.id);
+    const auto j = static_cast<size_t>(task.id);
+    if (i >= scores_.size() || j >= scores_[i].size()) return fallback_;
+    return scores_[i][j];
+  }
+
+ private:
+  std::vector<std::vector<double>> scores_;
+  double fallback_;
+};
+
+/// Constant-score model.
+class ConstantQualityModel : public QualityModel {
+ public:
+  explicit ConstantQualityModel(double score) : score_(score) {}
+  double Score(const Worker&, const Task&) const override { return score_; }
+
+ private:
+  double score_;
+};
+
+/// Options for RandomInstance below.
+struct RandomInstanceOptions {
+  int num_workers = 6;
+  int num_tasks = 6;
+  double velocity_lo = 0.2;
+  double velocity_hi = 0.4;
+  double deadline_lo = 0.8;
+  double deadline_hi = 2.0;
+  double unit_price = 1.0;
+  double budget = 3.0;
+};
+
+/// A random current-only instance with uniform locations; `quality` must
+/// outlive the returned instance.
+inline ProblemInstance RandomInstance(const RandomInstanceOptions& opts,
+                                      const QualityModel* quality, Rng* rng) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < opts.num_workers; ++i) {
+    workers.push_back(MakeWorker(
+        i, rng->Uniform(), rng->Uniform(),
+        rng->Uniform(opts.velocity_lo, opts.velocity_hi)));
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < opts.num_tasks; ++j) {
+    tasks.push_back(MakeTask(j, rng->Uniform(), rng->Uniform(),
+                             rng->Uniform(opts.deadline_lo, opts.deadline_hi)));
+  }
+  return ProblemInstance(std::move(workers), static_cast<size_t>(opts.num_workers),
+                         std::move(tasks), static_cast<size_t>(opts.num_tasks),
+                         quality, opts.unit_price, opts.budget);
+}
+
+}  // namespace testing_util
+}  // namespace mqa
+
+#endif  // MQA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,271 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/checkin.h"
+#include "workload/spatial_dist.h"
+#include "workload/synthetic.h"
+
+namespace mqa {
+namespace {
+
+TEST(SpatialDistTest, UniformCoversSpace) {
+  Rng rng(1);
+  SpatialDistConfig config;
+  config.kind = SpatialDistribution::kUniform;
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    const Point p = SampleLocation(config, &rng);
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LE(p.x, 1.0);
+    const int q = (p.x >= 0.5 ? 1 : 0) + (p.y >= 0.5 ? 2 : 0);
+    ++quadrant_counts[q];
+  }
+  for (const int c : quadrant_counts) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST(SpatialDistTest, GaussianConcentratesAtCenter) {
+  Rng rng(2);
+  SpatialDistConfig config;
+  config.kind = SpatialDistribution::kGaussian;
+  config.gaussian_sigma = 0.15;
+  int center = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = SampleLocation(config, &rng);
+    if (Distance(p, {0.5, 0.5}) < 0.25) ++center;
+  }
+  // Within ~1.67 sigma of the center: far more than the uniform 19.6%.
+  EXPECT_GT(center / static_cast<double>(n), 0.6);
+}
+
+TEST(SpatialDistTest, ZipfSkewsTowardOrigin) {
+  Rng rng(3);
+  SpatialDistConfig config;
+  config.kind = SpatialDistribution::kZipf;
+  config.zipf_skew = 0.8;
+  double sum_x = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) sum_x += SampleLocation(config, &rng).x;
+  EXPECT_LT(sum_x / n, 0.4);  // mass pulled toward 0
+}
+
+TEST(SpatialDistTest, CodesStable) {
+  EXPECT_STREQ(SpatialDistributionCode(SpatialDistribution::kUniform), "U");
+  EXPECT_STREQ(SpatialDistributionCode(SpatialDistribution::kGaussian), "G");
+  EXPECT_STREQ(SpatialDistributionCode(SpatialDistribution::kZipf), "Z");
+}
+
+TEST(SyntheticTest, CountsAndStampsCorrect) {
+  SyntheticConfig config;
+  config.num_workers = 103;
+  config.num_tasks = 57;
+  config.num_instances = 10;
+  const ArrivalStream stream = GenerateSynthetic(config);
+  EXPECT_TRUE(stream.Validate().ok());
+  EXPECT_EQ(stream.num_instances(), 10);
+  int64_t workers = 0;
+  int64_t tasks = 0;
+  for (int p = 0; p < 10; ++p) {
+    workers += static_cast<int64_t>(stream.workers[p].size());
+    tasks += static_cast<int64_t>(stream.tasks[p].size());
+    // Even split: every batch within 1 of total/instances.
+    EXPECT_NEAR(static_cast<double>(stream.workers[p].size()), 10.3, 0.7);
+  }
+  EXPECT_EQ(workers, 103);
+  EXPECT_EQ(tasks, 57);
+}
+
+TEST(SyntheticTest, AttributeRangesRespected) {
+  SyntheticConfig config;
+  config.num_workers = 300;
+  config.num_tasks = 300;
+  config.num_instances = 3;
+  config.velocity_lo = 0.1;
+  config.velocity_hi = 0.2;
+  config.deadline_lo = 0.5;
+  config.deadline_hi = 1.0;
+  const ArrivalStream stream = GenerateSynthetic(config);
+  for (const auto& batch : stream.workers) {
+    for (const Worker& w : batch) {
+      EXPECT_GE(w.velocity, 0.1);
+      EXPECT_LE(w.velocity, 0.2);
+      EXPECT_TRUE(w.location.IsPoint());
+    }
+  }
+  for (const auto& batch : stream.tasks) {
+    for (const Task& t : batch) {
+      EXPECT_GE(t.deadline, 0.5);
+      EXPECT_LE(t.deadline, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticConfig config;
+  config.num_workers = 50;
+  config.num_tasks = 50;
+  config.num_instances = 5;
+  const ArrivalStream a = GenerateSynthetic(config);
+  const ArrivalStream b = GenerateSynthetic(config);
+  for (int p = 0; p < 5; ++p) {
+    ASSERT_EQ(a.workers[p].size(), b.workers[p].size());
+    for (size_t i = 0; i < a.workers[p].size(); ++i) {
+      EXPECT_EQ(a.workers[p][i].Center(), b.workers[p][i].Center());
+    }
+  }
+  config.seed = 77;
+  const ArrivalStream c = GenerateSynthetic(config);
+  EXPECT_NE(a.workers[0][0].Center(), c.workers[0][0].Center());
+}
+
+TEST(SyntheticTest, UniqueIds) {
+  SyntheticConfig config;
+  config.num_workers = 200;
+  config.num_tasks = 200;
+  config.num_instances = 4;
+  const ArrivalStream stream = GenerateSynthetic(config);
+  std::set<WorkerId> ids;
+  for (const auto& batch : stream.workers) {
+    for (const Worker& w : batch) {
+      EXPECT_TRUE(ids.insert(w.id).second);
+    }
+  }
+}
+
+TEST(CheckinTest, ScaleMatchesPaperDefaults) {
+  CheckinConfig config;
+  config.num_workers = 500;  // scaled down for test speed
+  config.num_tasks = 700;
+  config.num_instances = 8;
+  const ArrivalStream stream = GenerateCheckin(config);
+  EXPECT_TRUE(stream.Validate().ok());
+  int64_t workers = 0;
+  int64_t tasks = 0;
+  for (int p = 0; p < 8; ++p) {
+    workers += static_cast<int64_t>(stream.workers[p].size());
+    tasks += static_cast<int64_t>(stream.tasks[p].size());
+  }
+  EXPECT_EQ(workers, 500);
+  EXPECT_EQ(tasks, 700);
+}
+
+TEST(CheckinTest, ArrivalsFollowDoublePeakIntensity) {
+  CheckinConfig config;
+  config.num_workers = 3000;
+  config.num_tasks = 3000;
+  config.num_instances = 10;
+  const ArrivalStream stream = GenerateCheckin(config);
+  // The batch sizes must not be uniform: max/min ratio > 1.5.
+  size_t lo = stream.workers[0].size();
+  size_t hi = lo;
+  for (const auto& batch : stream.workers) {
+    lo = std::min(lo, batch.size());
+    hi = std::max(hi, batch.size());
+  }
+  EXPECT_GT(static_cast<double>(hi) / std::max<size_t>(lo, 1), 1.5);
+}
+
+TEST(CheckinTest, LocationsAreClustered) {
+  CheckinConfig config;
+  config.num_workers = 2000;
+  config.num_tasks = 100;
+  config.num_instances = 5;
+  const ArrivalStream stream = GenerateCheckin(config);
+  // Clustering test: mean nearest-hotspot-ish dispersion. Use the mean
+  // pairwise distance, which for uniform [0,1]^2 is ~0.52; clustered
+  // check-ins should sit clearly below.
+  std::vector<Point> pts;
+  for (const auto& batch : stream.workers) {
+    for (const Worker& w : batch) pts.push_back(w.Center());
+  }
+  Rng rng(5);
+  double sum = 0.0;
+  const int pairs = 4000;
+  for (int i = 0; i < pairs; ++i) {
+    const auto a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pts.size()) - 1));
+    const auto b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pts.size()) - 1));
+    sum += Distance(pts[a], pts[b]);
+  }
+  EXPECT_LT(sum / pairs, 0.45);
+}
+
+TEST(CheckinTest, WorkerTaskHotspotOffsetSeparatesNearestNeighbors) {
+  // With the default task_hotspot_offset, a worker's nearest task is
+  // typically farther than with offset 0 — the Fig. 13 regime requires
+  // that tight deadlines cannot bridge the two services' venues.
+  auto mean_nearest_task_distance = [](double offset) {
+    CheckinConfig config;
+    config.num_workers = 400;
+    config.num_tasks = 400;
+    config.num_instances = 2;
+    config.task_hotspot_offset = offset;
+    config.seed = 31;
+    const ArrivalStream stream = GenerateCheckin(config);
+    double sum = 0.0;
+    int count = 0;
+    for (const Worker& w : stream.workers[0]) {
+      double best = 1e9;
+      for (const Task& t : stream.tasks[0]) {
+        best = std::min(best, Distance(w.Center(), t.Center()));
+      }
+      sum += best;
+      ++count;
+    }
+    return sum / count;
+  };
+  EXPECT_GT(mean_nearest_task_distance(0.18),
+            1.5 * mean_nearest_task_distance(0.0));
+}
+
+TEST(CheckinTest, WorkerAndTaskDistributionsDiffer) {
+  CheckinConfig config;
+  config.num_workers = 3000;
+  config.num_tasks = 3000;
+  config.num_instances = 5;
+  const ArrivalStream stream = GenerateCheckin(config);
+  // Compare 4x4 cell histograms of workers vs tasks (separate venue sets
+  // must give visibly different spatial profiles).
+  auto histogram = [](const std::vector<std::vector<Worker>>& batches) {
+    std::vector<double> h(16, 0.0);
+    double total = 0.0;
+    for (const auto& b : batches) {
+      for (const Worker& w : b) {
+        const Point p = w.Center();
+        const int cx = std::min(3, static_cast<int>(p.x * 4));
+        const int cy = std::min(3, static_cast<int>(p.y * 4));
+        h[static_cast<size_t>(cy * 4 + cx)] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (auto& v : h) v /= total;
+    return h;
+  };
+  auto task_histogram = [](const std::vector<std::vector<Task>>& batches) {
+    std::vector<double> h(16, 0.0);
+    double total = 0.0;
+    for (const auto& b : batches) {
+      for (const Task& t : b) {
+        const Point p = t.Center();
+        const int cx = std::min(3, static_cast<int>(p.x * 4));
+        const int cy = std::min(3, static_cast<int>(p.y * 4));
+        h[static_cast<size_t>(cy * 4 + cx)] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (auto& v : h) v /= total;
+    return h;
+  };
+  const auto hw = histogram(stream.workers);
+  const auto ht = task_histogram(stream.tasks);
+  double l1 = 0.0;
+  for (size_t i = 0; i < hw.size(); ++i) l1 += std::abs(hw[i] - ht[i]);
+  EXPECT_GT(l1, 0.1);
+}
+
+}  // namespace
+}  // namespace mqa
