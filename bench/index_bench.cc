@@ -1,0 +1,112 @@
+// Brute-force vs grid-indexed valid-pair generation at 1k/10k/50k
+// workers x tasks, reporting wall time, emitted pairs and pairs/sec.
+//
+// Two reach regimes: "city" (velocity 0.02-0.03, the hyperlocal setting
+// where a worker covers a few blocks per instance — reach radius ~0.05 of
+// the data space) and "paper" (Table IV velocities 0.2-0.3, radius up to
+// 0.6 — most pairs valid, so indexing can only help marginally). The
+// speedup claim in CHANGES.md is the city regime at 10k x 10k.
+//
+// MQA_INDEX_BENCH_MAX caps the instance size (default 50000).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/valid_pairs.h"
+#include "quality/range_quality.h"
+#include "tests/test_util.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+ProblemInstance UniformInstance(int n, double v_lo, double v_hi,
+                                const QualityModel* quality, Rng* rng) {
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers.push_back(MakeWorker(i, rng->Uniform(), rng->Uniform(),
+                                 rng->Uniform(v_lo, v_hi)));
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    tasks.push_back(
+        MakeTask(j, rng->Uniform(), rng->Uniform(), rng->Uniform(1.0, 2.0)));
+  }
+  return ProblemInstance(std::move(workers), static_cast<size_t>(n),
+                         std::move(tasks), static_cast<size_t>(n), quality,
+                         /*unit_price=*/10.0, /*budget=*/300.0);
+}
+
+double TimePool(const ProblemInstance& instance, IndexBackend backend,
+                int reps, size_t* num_pairs) {
+  PairPoolOptions options;
+  options.backend = backend;
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const PairPool pool = BuildPairPool(instance, options);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (s < best) best = s;
+    *num_pairs = pool.pairs.size();
+  }
+  return best;
+}
+
+void RunRegime(const char* name, double v_lo, double v_hi,
+               const std::vector<int>& sizes, int max_n) {
+  const RangeQualityModel quality(1.0, 2.0);
+  std::printf("-- %s regime (velocity %.2f-%.2f, deadline 1-2) --\n", name,
+              v_lo, v_hi);
+  std::printf("%8s %12s %12s %14s %12s %14s %9s\n", "n", "pairs",
+              "brute_s", "brute_pairs/s", "grid_s", "grid_pairs/s", "speedup");
+  for (const int n : sizes) {
+    if (n > max_n) continue;
+    Rng rng(42 + n);
+    const ProblemInstance instance = UniformInstance(n, v_lo, v_hi, &quality,
+                                                     &rng);
+    size_t pairs_brute = 0;
+    size_t pairs_grid = 0;
+    // The brute pass is quadratic; run it once. The grid pass is cheap
+    // enough to take the best of three.
+    const double brute_s =
+        TimePool(instance, IndexBackend::kBruteForce, 1, &pairs_brute);
+    const double grid_s = TimePool(instance, IndexBackend::kGrid,
+                                   n <= 10000 ? 3 : 1, &pairs_grid);
+    if (pairs_brute != pairs_grid) {
+      std::fprintf(stderr, "FATAL: pair pools diverged (%zu vs %zu)\n",
+                   pairs_brute, pairs_grid);
+      std::exit(1);
+    }
+    std::printf("%8d %12zu %12.4f %14.3e %12.4f %14.3e %8.1fx\n", n,
+                pairs_brute, brute_s,
+                static_cast<double>(pairs_brute) / brute_s, grid_s,
+                static_cast<double>(pairs_grid) / grid_s, brute_s / grid_s);
+  }
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() {
+  int max_n = 50000;
+  if (const char* cap = std::getenv("MQA_INDEX_BENCH_MAX")) {
+    max_n = std::atoi(cap);
+  }
+  mqa::RunRegime("city", 0.02, 0.03, {1000, 10000, 50000}, max_n);
+  // Paper velocities make most pairs valid; pool emission dominates and
+  // the pool itself is quadratic-sized, so 50k is out of reach for any
+  // enumeration strategy and the regime stops at 10k.
+  mqa::RunRegime("paper", 0.2, 0.3, {1000, 10000}, max_n);
+  return 0;
+}

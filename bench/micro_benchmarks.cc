@@ -127,6 +127,28 @@ void BM_BuildPairPool(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildPairPool)->Arg(100)->Arg(300);
 
+// Same pool, but candidate tasks come from each backend explicitly
+// (kAuto switches between them at kAutoBruteForceMaxPairs entities;
+// bench/index_bench.cc covers the large-scale comparison).
+void BM_BuildPairPoolBackend(benchmark::State& state) {
+  const RangeQualityModel quality(1.0, 2.0, 3);
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  const auto inst = BenchInstance(static_cast<int>(state.range(0)), &quality,
+                                  &workers, &tasks);
+  PairPoolOptions options;
+  options.backend = state.range(1) == 0 ? IndexBackend::kBruteForce
+                                        : IndexBackend::kGrid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPairPool(inst, options));
+  }
+}
+BENCHMARK(BM_BuildPairPoolBackend)
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+
 void BM_GreedyAssignment(benchmark::State& state) {
   const RangeQualityModel quality(1.0, 2.0, 3);
   std::vector<Worker> workers;

@@ -4,8 +4,7 @@
 //
 // Examples:
 //   mqa_cli --workload=checkin --algo=dc --budget=300 --instances=15
-//   mqa_cli --workload=synthetic --algo=greedy --no-prediction \
-//           --workers=2000 --tasks=2000 --csv
+//   mqa_cli --workload=synthetic --algo=greedy --no-prediction --workers=2000 --tasks=2000 --csv
 //   mqa_cli --workload=synthetic --worker-dist=zipf --task-dist=uniform
 
 #include <cstdio>

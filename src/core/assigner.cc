@@ -4,6 +4,7 @@
 #include "core/exact_assigner.h"
 #include "core/greedy.h"
 #include "core/random_assigner.h"
+#include "core/valid_pairs.h"
 
 namespace mqa {
 
@@ -23,13 +24,19 @@ const char* AssignerKindToString(AssignerKind kind) {
 
 namespace {
 
+PairPoolOptions PoolOptions(const AssignerOptions& options) {
+  PairPoolOptions pool;
+  pool.backend = options.index_backend;
+  return pool;
+}
+
 class GreedyAssigner : public Assigner {
  public:
   explicit GreedyAssigner(const AssignerOptions& options)
       : options_(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunGreedy(instance, options_.delta);
+    return RunGreedy(instance, options_.delta, PoolOptions(options_));
   }
 
   const char* name() const override { return "GREEDY"; }
@@ -44,7 +51,8 @@ class DivideConquerAssigner : public Assigner {
       : options_(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunDivideConquer(instance, options_.delta, options_.dc_branching);
+    return RunDivideConquer(instance, options_.delta, options_.dc_branching,
+                            PoolOptions(options_));
   }
 
   const char* name() const override { return "D&C"; }
@@ -59,7 +67,8 @@ class RandomAssigner : public Assigner {
       : options_(options), next_seed_(options.seed) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunRandom(instance, options_.delta, next_seed_++);
+    return RunRandom(instance, options_.delta, next_seed_++,
+                     PoolOptions(options_));
   }
 
   const char* name() const override { return "RANDOM"; }
@@ -74,7 +83,7 @@ class ExactAssigner : public Assigner {
   explicit ExactAssigner(const AssignerOptions& options) : options_(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunExact(instance);
+    return RunExact(instance, kExactMaxEntities, PoolOptions(options_));
   }
 
   const char* name() const override { return "EXACT"; }

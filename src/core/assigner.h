@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "index/spatial_index.h"
 #include "model/assignment.h"
 #include "model/problem_instance.h"
 
@@ -33,6 +34,12 @@ struct AssignerOptions {
 
   /// Seed for the RANDOM baseline's shuffle.
   uint64_t seed = 42;
+
+  /// Spatial-index backend for valid-pair generation (see
+  /// src/index/README.md). Ignored when the instance carries a prebuilt
+  /// task index (ProblemInstance::task_index), as the simulator's
+  /// incrementally maintained index does.
+  IndexBackend index_backend = IndexBackend::kAuto;
 };
 
 /// A one-instance MQA solver. Implementations are stateless across calls

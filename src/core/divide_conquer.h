@@ -1,6 +1,7 @@
 #ifndef MQA_CORE_DIVIDE_CONQUER_H_
 #define MQA_CORE_DIVIDE_CONQUER_H_
 
+#include "core/valid_pairs.h"
 #include "model/assignment.h"
 #include "model/problem_instance.h"
 
@@ -18,7 +19,8 @@ namespace mqa {
 ///      (MQA_Budget_Constrained_Selection).
 /// Only current-current pairs are emitted.
 AssignmentResult RunDivideConquer(const ProblemInstance& instance,
-                                  double delta, int branching = 0);
+                                  double delta, int branching = 0,
+                                  const PairPoolOptions& pool_options = {});
 
 }  // namespace mqa
 

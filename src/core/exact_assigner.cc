@@ -69,7 +69,8 @@ void Search(SearchState* s, size_t task_index) {
 }  // namespace
 
 Result<AssignmentResult> RunExact(const ProblemInstance& instance,
-                                  int max_entities) {
+                                  int max_entities,
+                                  const PairPoolOptions& pool_options) {
   if (instance.num_current_tasks() > static_cast<size_t>(max_entities) ||
       instance.num_current_workers() > static_cast<size_t>(max_entities)) {
     return Status::InvalidArgument(
@@ -77,7 +78,9 @@ Result<AssignmentResult> RunExact(const ProblemInstance& instance,
         " workers/tasks (MQA is NP-hard)");
   }
 
-  const PairPool pool = BuildPairPool(instance, /*include_predicted=*/false);
+  PairPoolOptions options = pool_options;
+  options.include_predicted = false;  // the oracle only sees current pairs
+  const PairPool pool = BuildPairPool(instance, options);
   SearchState state;
   state.instance = &instance;
   state.pool = &pool;

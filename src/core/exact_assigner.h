@@ -2,10 +2,14 @@
 #define MQA_CORE_EXACT_ASSIGNER_H_
 
 #include "common/result.h"
+#include "core/valid_pairs.h"
 #include "model/assignment.h"
 #include "model/problem_instance.h"
 
 namespace mqa {
+
+/// Default instance-size cap of the exhaustive solver (per side).
+inline constexpr int kExactMaxEntities = 12;
 
 /// Exhaustive optimal solver over *current* workers and tasks: maximizes
 /// the total quality of a valid matching whose cost fits the budget.
@@ -14,7 +18,8 @@ namespace mqa {
 /// test oracle on tiny instances. Returns InvalidArgument when the
 /// instance exceeds `max_entities` on either side.
 Result<AssignmentResult> RunExact(const ProblemInstance& instance,
-                                  int max_entities = 12);
+                                  int max_entities = kExactMaxEntities,
+                                  const PairPoolOptions& pool_options = {});
 
 }  // namespace mqa
 

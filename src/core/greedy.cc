@@ -76,8 +76,11 @@ AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
   return result;
 }
 
-AssignmentResult RunGreedy(const ProblemInstance& instance, double delta) {
-  const PairPool pool = BuildPairPool(instance);
+AssignmentResult RunGreedy(const ProblemInstance& instance, double delta,
+                           const PairPoolOptions& pool_options) {
+  PairPoolOptions options = pool_options;
+  options.include_predicted = true;
+  const PairPool pool = BuildPairPool(instance, options);
   std::vector<char> worker_used(instance.workers().size(), 0);
   std::vector<char> task_used(instance.tasks().size(), 0);
   BudgetTracker budget(instance.budget(), delta);

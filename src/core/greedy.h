@@ -37,7 +37,10 @@ AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
 /// MQA_Greedy end-to-end: build the pair pool over current and predicted
 /// entities, run the greedy loop with a fresh budget tracker (two pots of
 /// B, Eq. 9 confidence `delta`), and emit the current-current pairs.
-AssignmentResult RunGreedy(const ProblemInstance& instance, double delta);
+/// `pool_options.include_predicted` is overridden to true; the remaining
+/// fields pick the candidate-generation index (see valid_pairs.h).
+AssignmentResult RunGreedy(const ProblemInstance& instance, double delta,
+                           const PairPoolOptions& pool_options = {});
 
 }  // namespace mqa
 

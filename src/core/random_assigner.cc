@@ -11,8 +11,10 @@
 namespace mqa {
 
 AssignmentResult RunRandom(const ProblemInstance& instance, double delta,
-                           uint64_t seed) {
-  const PairPool pool = BuildPairPool(instance);
+                           uint64_t seed, const PairPoolOptions& pool_options) {
+  PairPoolOptions options = pool_options;
+  options.include_predicted = true;
+  const PairPool pool = BuildPairPool(instance, options);
   std::vector<int32_t> order(pool.pairs.size());
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);

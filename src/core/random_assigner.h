@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/valid_pairs.h"
 #include "model/assignment.h"
 #include "model/problem_instance.h"
 
@@ -15,7 +16,8 @@ namespace mqa {
 /// consume the next-instance pot and are dropped from the output), which
 /// is what the paper's RANDOM_WP variant does.
 AssignmentResult RunRandom(const ProblemInstance& instance, double delta,
-                           uint64_t seed);
+                           uint64_t seed,
+                           const PairPoolOptions& pool_options = {});
 
 }  // namespace mqa
 

@@ -1,8 +1,11 @@
 #include "core/valid_pairs.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "index/candidate_scan.h"
 #include "prediction/pair_stats.h"
 #include "quality/quality_model.h"
 #include "stats/distance_stats.h"
@@ -23,36 +26,73 @@ double PairPool::AvgWorkersPerTask() const {
 }
 
 PairPool BuildPairPool(const ProblemInstance& instance,
-                       bool include_predicted) {
+                       const PairPoolOptions& options) {
   const QualityModel* model = instance.quality_model();
   MQA_CHECK(model != nullptr) << "instance lacks a quality model";
 
   PairPool pool;
-  const size_t num_workers =
-      include_predicted ? instance.workers().size()
-                        : instance.num_current_workers();
-  const size_t num_tasks = include_predicted ? instance.tasks().size()
-                                             : instance.num_current_tasks();
+  const size_t num_workers = options.include_predicted
+                                 ? instance.workers().size()
+                                 : instance.num_current_workers();
+  const size_t num_tasks = options.include_predicted
+                               ? instance.tasks().size()
+                               : instance.num_current_tasks();
   pool.pairs_by_task.resize(instance.tasks().size());
   pool.pairs_by_worker.resize(instance.workers().size());
 
-  // Sample statistics of current pairs drive the predicted-pair quality
-  // distributions; only needed when predicted entities participate.
-  const bool has_predicted =
-      include_predicted && (instance.num_predicted_workers() > 0 ||
-                            instance.num_predicted_tasks() > 0);
-  std::unique_ptr<PairStatistics> stats;
-  if (has_predicted) stats = std::make_unique<PairStatistics>(instance);
+  // Task index: caller-provided (covering *all* tasks; ids past num_tasks
+  // are filtered below) or built here over the participating tasks.
+  const SpatialIndex* index =
+      options.task_index != nullptr ? options.task_index
+                                    : instance.task_index();
+  std::unique_ptr<SpatialIndex> owned;
+  if (index != nullptr) {
+    MQA_CHECK(index->size() == instance.tasks().size())
+        << "task index covers " << index->size() << " entries but the "
+        << "instance has " << instance.tasks().size() << " tasks";
+  } else {
+    owned = CreateSpatialIndex(
+        ResolveBackend(options.backend, num_workers, num_tasks));
+    std::vector<IndexEntry> entries;
+    entries.reserve(num_tasks);
+    for (size_t j = 0; j < num_tasks; ++j) {
+      entries.push_back(
+          {static_cast<int64_t>(j), instance.tasks()[j].location});
+    }
+    owned->BulkLoad(entries);
+    index = owned.get();
+  }
 
+  // The radius bound uses the largest candidate deadline; CanReach then
+  // applies each task's exact deadline, so this only over-approximates.
+  double max_deadline = 0.0;
+  for (size_t j = 0; j < num_tasks; ++j) {
+    max_deadline = std::max(max_deadline, instance.tasks()[j].deadline);
+  }
+
+  // Sample statistics of current pairs drive the predicted-pair quality
+  // distributions; only needed when predicted entities participate. The
+  // scan inside shares this task index so it stays sublinear too.
+  const bool has_predicted =
+      options.include_predicted && (instance.num_predicted_workers() > 0 ||
+                                    instance.num_predicted_tasks() > 0);
+  std::unique_ptr<PairStatistics> stats;
+  if (has_predicted) {
+    stats = std::make_unique<PairStatistics>(instance, index, max_deadline);
+  }
+
+  std::vector<std::pair<int32_t, double>> scratch;
   for (size_t i = 0; i < num_workers; ++i) {
     const Worker& w = instance.workers()[i];
-    for (size_t j = 0; j < num_tasks; ++j) {
+    ForEachReachableCandidate(*index, w, max_deadline, num_tasks, &scratch,
+                              [&](int32_t jj, double min_dist) {
+      const size_t j = static_cast<size_t>(jj);
       const Task& t = instance.tasks()[j];
-      if (!instance.CanReach(w, t)) continue;
+      if (!instance.CanReachAtDistance(w, t, min_dist)) return;
 
       CandidatePair pair;
       pair.worker_index = static_cast<int32_t>(i);
-      pair.task_index = static_cast<int32_t>(j);
+      pair.task_index = jj;
       pair.involves_predicted = w.predicted || t.predicted;
       pair.cost = DistanceBetween(w.location, t.location)
                       .AffineTransform(instance.unit_price(), 0.0);
@@ -76,9 +116,16 @@ PairPool BuildPairPool(const ProblemInstance& instance,
       pool.pairs.push_back(pair);
       pool.pairs_by_task[j].push_back(pair_id);
       pool.pairs_by_worker[i].push_back(pair_id);
-    }
+    });
   }
   return pool;
+}
+
+PairPool BuildPairPool(const ProblemInstance& instance,
+                       bool include_predicted) {
+  PairPoolOptions options;
+  options.include_predicted = include_predicted;
+  return BuildPairPool(instance, options);
 }
 
 }  // namespace mqa

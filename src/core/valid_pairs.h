@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/spatial_index.h"
 #include "model/candidate_pair.h"
 #include "model/problem_instance.h"
 
@@ -27,13 +28,42 @@ struct PairPool {
   double AvgWorkersPerTask() const;
 };
 
+/// How BuildPairPool enumerates candidate tasks per worker.
+struct PairPoolOptions {
+  /// When false, only current workers/tasks participate (the paper's WoP
+  /// straw man and the exact oracle).
+  bool include_predicted = true;
+
+  /// Index backend used when no prebuilt task index is available. kAuto
+  /// picks the grid above kAutoBruteForceMaxPairs candidate pairs.
+  IndexBackend backend = IndexBackend::kAuto;
+
+  /// Prebuilt index over the instance's tasks (entry ids = task indices,
+  /// covering *all* tasks, current and predicted). Overrides `backend`
+  /// and the instance's task_index(). The simulator threads its
+  /// TaskIndexCache through ProblemInstance::task_index instead.
+  const SpatialIndex* task_index = nullptr;
+};
+
 /// Enumerates valid pairs and attaches cost/quality/existence statistics:
 ///  * current-current: fixed cost C*dist and fixed quality from the
 ///    instance's QualityModel;
-///  * pairs involving predicted entities (only when `include_predicted`):
+///  * pairs involving predicted entities (only when include_predicted):
 ///    cost from the closed-form box-distance statistics, quality and
 ///    existence from PairStatistics Cases 1-3 (paper Section III-B).
 /// Validity is the reachability test ProblemInstance::CanReach.
+///
+/// Candidate tasks per worker come from a radius query over a task index
+/// with radius velocity * max-deadline — a superset of CanReach's
+/// velocity x deadline constraint — then the exact CanReach filter, so
+/// every backend produces the *identical* pool (same pair order, costs,
+/// qualities) as the seed's brute-force double loop; only the work done
+/// differs. Index precedence: options.task_index, then
+/// instance.task_index(), then an index built here per options.backend.
+PairPool BuildPairPool(const ProblemInstance& instance,
+                       const PairPoolOptions& options);
+
+/// Back-compat shorthand for {.include_predicted = include_predicted}.
 PairPool BuildPairPool(const ProblemInstance& instance,
                        bool include_predicted = true);
 

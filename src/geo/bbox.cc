@@ -21,6 +21,11 @@ BBox BBox::KernelBox(const Point& center, double hx, double hy) {
   return BBox(lo, hi);
 }
 
+BBox BBox::Expanded(double r) const {
+  MQA_CHECK(r >= 0.0) << "negative expansion radius " << r;
+  return BBox({lo_.x - r, lo_.y - r}, {hi_.x + r, hi_.y + r});
+}
+
 namespace {
 
 // Distance between intervals [a1,a2] and [b1,b2] along one axis; 0 if they

@@ -40,6 +40,16 @@ class BBox {
     return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
   }
 
+  /// True when the boxes share at least one point (boundary-inclusive).
+  bool Intersects(const BBox& other) const {
+    return lo_.x <= other.hi_.x && other.lo_.x <= hi_.x &&
+           lo_.y <= other.hi_.y && other.lo_.y <= hi_.y;
+  }
+
+  /// Box grown by `r >= 0` on every side (not clipped to the data space;
+  /// spatial-index cell-range computations clamp separately).
+  BBox Expanded(double r) const;
+
   /// Minimum Euclidean distance between any point of this box and any
   /// point of `other` (0 when they intersect).
   double MinDistance(const BBox& other) const;

@@ -16,6 +16,7 @@ struct Point {
   friend bool operator==(const Point& a, const Point& b) {
     return a.x == b.x && a.y == b.y;
   }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
 };
 
 /// Euclidean distance (the paper's dist(x, y), Section II-C).

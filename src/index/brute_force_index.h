@@ -1,0 +1,33 @@
+#ifndef MQA_INDEX_BRUTE_FORCE_INDEX_H_
+#define MQA_INDEX_BRUTE_FORCE_INDEX_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace mqa {
+
+/// Linear-scan SpatialIndex: queries test every entry. This is the seed's
+/// candidate enumeration expressed through the index interface — used for
+/// tiny instances (where it beats the grid's setup cost) and as the
+/// semantics oracle the GridIndex is cross-checked against.
+class BruteForceIndex : public SpatialIndex {
+ public:
+  BruteForceIndex() = default;
+
+  void BulkLoad(const std::vector<IndexEntry>& entries) override;
+  void Insert(int64_t id, const BBox& box) override;
+  bool Erase(int64_t id, const BBox& box) override;
+  void QueryRadius(const BBox& query, double radius,
+                   const RadiusVisitor& visit) const override;
+  void QueryRect(const BBox& rect, const RectVisitor& visit) const override;
+  size_t size() const override { return entries_.size(); }
+  const char* name() const override { return "BRUTE"; }
+
+ private:
+  std::vector<IndexEntry> entries_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_BRUTE_FORCE_INDEX_H_

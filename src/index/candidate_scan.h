@@ -1,0 +1,43 @@
+#ifndef MQA_INDEX_CANDIDATE_SCAN_H_
+#define MQA_INDEX_CANDIDATE_SCAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "model/worker.h"
+
+namespace mqa {
+
+/// The candidate-task scan shared by BuildPairPool and PairStatistics:
+/// one radius query with ReachRadius(worker, max_deadline) — a superset
+/// of the CanReach reachability bound — dropping entry ids >= `id_limit`
+/// (an external index may cover more tasks than participate), then
+/// visiting survivors as fn(task_index, min_dist) in ascending id order.
+/// The sort keeps pools and statistics bit-identical across backends and
+/// matches the seed's double-loop accumulation order; callers apply the
+/// exact ProblemInstance::CanReachAtDistance test with the min-distance
+/// handed through. `scratch` avoids per-worker reallocation.
+template <typename Fn>
+void ForEachReachableCandidate(
+    const SpatialIndex& index, const Worker& worker, double max_deadline,
+    size_t id_limit, std::vector<std::pair<int32_t, double>>* scratch,
+    Fn&& fn) {
+  if (worker.velocity <= 0.0) return;  // CanReach rejects every task
+  scratch->clear();
+  index.QueryRadius(worker.location, ReachRadius(worker, max_deadline),
+                    [&](int64_t id, const BBox&, double min_dist) {
+                      if (static_cast<size_t>(id) < id_limit) {
+                        scratch->emplace_back(static_cast<int32_t>(id),
+                                              min_dist);
+                      }
+                    });
+  std::sort(scratch->begin(), scratch->end());
+  for (const auto& [id, min_dist] : *scratch) fn(id, min_dist);
+}
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_CANDIDATE_SCAN_H_

@@ -1,0 +1,144 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+namespace {
+
+constexpr int kMaxSide = 1024;
+
+int AutoSide(size_t n) {
+  const int side =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::clamp(side, 1, kMaxSide);
+}
+
+}  // namespace
+
+GridIndex::GridIndex(int cells_per_side)
+    : auto_resolution_(cells_per_side <= 0),
+      side_(auto_resolution_ ? 1 : std::min(cells_per_side, kMaxSide)) {
+  inv_cell_ = static_cast<double>(side_);
+  cells_.resize(static_cast<size_t>(side_) * static_cast<size_t>(side_));
+}
+
+int GridIndex::CellCoord(double v) const {
+  // Boundary rule: a coordinate exactly on an interior cell edge buckets
+  // into the higher cell; 1.0 (and anything beyond) clamps into the last
+  // cell, negatives into cell 0. Queries use the same mapping, so an
+  // entry and any query box reaching it always meet in at least one cell.
+  // Clamp in the double domain: out-of-range coordinates are legal here,
+  // and casting a double beyond int range is undefined behavior.
+  const double clamped = std::clamp(v, 0.0, 1.0);
+  return std::min(static_cast<int>(clamped * inv_cell_), side_ - 1);
+}
+
+GridIndex::Entry GridIndex::MakeEntry(int64_t id, const BBox& box) const {
+  Entry e;
+  e.id = id;
+  e.box = box;
+  e.cx0 = CellCoord(box.lo().x);
+  e.cx1 = CellCoord(box.hi().x);
+  e.cy0 = CellCoord(box.lo().y);
+  e.cy1 = CellCoord(box.hi().y);
+  return e;
+}
+
+void GridIndex::InsertEntry(const Entry& e) {
+  for (int32_t cy = e.cy0; cy <= e.cy1; ++cy) {
+    for (int32_t cx = e.cx0; cx <= e.cx1; ++cx) {
+      cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
+             static_cast<size_t>(cx)]
+          .push_back(e);
+    }
+  }
+}
+
+std::vector<IndexEntry> GridIndex::Snapshot() const {
+  std::vector<IndexEntry> out;
+  out.reserve(size_);
+  // The full-space range makes every entry's home cell its own first
+  // cell, so this enumerates each entry exactly once.
+  ForEachInRange(BBox({0.0, 0.0}, {1.0, 1.0}),
+                 [&](const Entry& e) { out.push_back({e.id, e.box}); });
+  return out;
+}
+
+void GridIndex::Rebuild(size_t expected) {
+  std::vector<IndexEntry> entries = Snapshot();
+  side_ = AutoSide(expected);
+  inv_cell_ = static_cast<double>(side_);
+  cells_.assign(static_cast<size_t>(side_) * static_cast<size_t>(side_), {});
+  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e.id, e.box));
+  built_size_ = size_;
+}
+
+void GridIndex::BulkLoad(const std::vector<IndexEntry>& entries) {
+  if (auto_resolution_) {
+    side_ = AutoSide(entries.size());
+    inv_cell_ = static_cast<double>(side_);
+  }
+  cells_.assign(static_cast<size_t>(side_) * static_cast<size_t>(side_), {});
+  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e.id, e.box));
+  size_ = entries.size();
+  built_size_ = size_;
+}
+
+void GridIndex::Insert(int64_t id, const BBox& box) {
+  InsertEntry(MakeEntry(id, box));
+  ++size_;
+  if (auto_resolution_ && size_ > 4 * std::max<size_t>(built_size_, 16)) {
+    Rebuild(size_);
+  }
+}
+
+bool GridIndex::Erase(int64_t id, const BBox& box) {
+  const Entry probe = MakeEntry(id, box);
+  bool found = false;
+  for (int32_t cy = probe.cy0; cy <= probe.cy1; ++cy) {
+    for (int32_t cx = probe.cx0; cx <= probe.cx1; ++cx) {
+      auto& bucket =
+          cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
+                 static_cast<size_t>(cx)];
+      for (size_t k = 0; k < bucket.size(); ++k) {
+        if (bucket[k].id == id && bucket[k].box == box) {
+          bucket[k] = bucket.back();
+          bucket.pop_back();
+          found = true;
+          break;  // one copy per cell
+        }
+      }
+    }
+  }
+  if (found) {
+    --size_;
+    // Mirror of Insert's growth trigger: a pool that shrank far below the
+    // resolution it was built for would keep walking mostly-empty buckets
+    // forever otherwise.
+    if (auto_resolution_ && built_size_ > 16 && size_ < built_size_ / 4) {
+      Rebuild(size_);
+    }
+  }
+  return found;
+}
+
+void GridIndex::QueryRadius(const BBox& query, double radius,
+                            const RadiusVisitor& visit) const {
+  MQA_CHECK(radius >= 0.0) << "negative query radius " << radius;
+  ForEachInRange(query.Expanded(radius), [&](const Entry& e) {
+    const double min_dist = query.MinDistance(e.box);
+    if (min_dist <= radius) visit(e.id, e.box, min_dist);
+  });
+}
+
+void GridIndex::QueryRect(const BBox& rect, const RectVisitor& visit) const {
+  ForEachInRange(rect, [&](const Entry& e) {
+    if (rect.Intersects(e.box)) visit(e.id, e.box);
+  });
+}
+
+}  // namespace mqa

@@ -1,0 +1,105 @@
+#ifndef MQA_INDEX_GRID_INDEX_H_
+#define MQA_INDEX_GRID_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace mqa {
+
+/// Uniform-grid SpatialIndex over the unit data space: [0,1]^2 is cut
+/// into side x side square cells and every entry is bucketed into each
+/// cell its box overlaps. A radius query visits only the cells within the
+/// query box expanded by the radius, so with n roughly uniform entries
+/// and side ~ sqrt(n) the per-query cost is proportional to the number of
+/// entries near the query instead of n.
+///
+/// Entries spanning several cells are reported exactly once per query via
+/// the home-cell rule (an entry is emitted only from the first cell, in
+/// scan order, of the intersection of its cell range and the query's), so
+/// queries need no per-call dedup set.
+///
+/// Coordinates outside [0,1] are legal: they bucket into the boundary
+/// cells, and exact distance/intersection tests keep query results
+/// correct regardless of clamping.
+class GridIndex : public SpatialIndex {
+ public:
+  /// `cells_per_side` fixes the resolution; 0 (auto) picks ~sqrt(n) at
+  /// BulkLoad time and rebalances after incremental growth (see Insert).
+  explicit GridIndex(int cells_per_side = 0);
+
+  void BulkLoad(const std::vector<IndexEntry>& entries) override;
+
+  /// Inserts one entry. With auto resolution, growing (Insert) or
+  /// shrinking (Erase) the entry count 4x past the last (re)build
+  /// triggers an O(n) rebucketing so buckets stay near-constant size
+  /// under incremental churn.
+  void Insert(int64_t id, const BBox& box) override;
+  bool Erase(int64_t id, const BBox& box) override;
+
+  void QueryRadius(const BBox& query, double radius,
+                   const RadiusVisitor& visit) const override;
+  void QueryRect(const BBox& rect, const RectVisitor& visit) const override;
+
+  size_t size() const override { return size_; }
+  const char* name() const override { return "GRID"; }
+
+  int cells_per_side() const { return side_; }
+
+ private:
+  // A bucketed entry with its precomputed cell range [cx0,cx1]x[cy0,cy1];
+  // the range makes the home-cell dedup rule O(1) per encounter.
+  struct Entry {
+    int64_t id;
+    BBox box;
+    int32_t cx0, cx1, cy0, cy1;
+  };
+
+  int CellCoord(double v) const;
+  Entry MakeEntry(int64_t id, const BBox& box) const;
+
+  // Walks the cells overlapping `range` and hands each entry to `fn`
+  // exactly once: the home-cell rule skips an entry except in the first
+  // cell (in scan order) of the intersection of its cell range and the
+  // query's. Shared by QueryRadius and QueryRect so the dedup subtlety
+  // lives in one place.
+  template <typename Fn>
+  void ForEachInRange(const BBox& range, Fn&& fn) const {
+    const int32_t qx0 = CellCoord(range.lo().x);
+    const int32_t qx1 = CellCoord(range.hi().x);
+    const int32_t qy0 = CellCoord(range.lo().y);
+    const int32_t qy1 = CellCoord(range.hi().y);
+    for (int32_t cy = qy0; cy <= qy1; ++cy) {
+      for (int32_t cx = qx0; cx <= qx1; ++cx) {
+        const auto& bucket =
+            cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
+                   static_cast<size_t>(cx)];
+        for (const Entry& e : bucket) {
+          if (cx != std::max(e.cx0, qx0) || cy != std::max(e.cy0, qy0)) {
+            continue;
+          }
+          fn(e);
+        }
+      }
+    }
+  }
+  void InsertEntry(const Entry& e);
+  // Collects every entry exactly once (via home cells).
+  std::vector<IndexEntry> Snapshot() const;
+  // Re-buckets everything at a resolution fit for `expected` entries.
+  void Rebuild(size_t expected);
+
+  bool auto_resolution_;
+  int side_;
+  double inv_cell_ = 1.0;
+  size_t size_ = 0;
+  // Entry count at the last (re)build; growth beyond 4x triggers Rebuild.
+  size_t built_size_ = 0;
+  std::vector<std::vector<Entry>> cells_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_GRID_INDEX_H_

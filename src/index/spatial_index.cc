@@ -1,0 +1,38 @@
+#include "index/spatial_index.h"
+
+#include "common/logging.h"
+#include "index/brute_force_index.h"
+#include "index/grid_index.h"
+
+namespace mqa {
+
+const char* IndexBackendToString(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kAuto:
+      return "AUTO";
+    case IndexBackend::kBruteForce:
+      return "BRUTE";
+    case IndexBackend::kGrid:
+      return "GRID";
+  }
+  return "?";
+}
+
+IndexBackend ResolveBackend(IndexBackend backend, size_t num_queries,
+                            size_t num_entries) {
+  if (backend != IndexBackend::kAuto) return backend;
+  return num_queries * num_entries >= kAutoBruteForceMaxPairs
+             ? IndexBackend::kGrid
+             : IndexBackend::kBruteForce;
+}
+
+std::unique_ptr<SpatialIndex> CreateSpatialIndex(IndexBackend backend) {
+  MQA_CHECK(backend != IndexBackend::kAuto)
+      << "resolve kAuto with ResolveBackend before creating an index";
+  return backend == IndexBackend::kBruteForce
+             ? std::unique_ptr<SpatialIndex>(
+                   std::make_unique<BruteForceIndex>())
+             : std::make_unique<GridIndex>();
+}
+
+}  // namespace mqa

@@ -1,0 +1,134 @@
+#ifndef MQA_INDEX_SPATIAL_INDEX_H_
+#define MQA_INDEX_SPATIAL_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "geo/bbox.h"
+
+namespace mqa {
+
+/// Which spatial-index backend candidate generation uses. Exposed through
+/// AssignerOptions and SimulatorConfig; see src/index/README.md for when
+/// each backend wins.
+enum class IndexBackend {
+  /// Grid above a small workload threshold, brute force below it.
+  kAuto,
+  /// Linear scan; preserves the seed's O(|W|*|T|) enumeration exactly.
+  kBruteForce,
+  /// Uniform grid with cell-bucketed entities; near-linear candidate
+  /// generation when reach radii are small relative to the data space.
+  kGrid,
+};
+
+/// Short display name ("AUTO", "BRUTE", "GRID").
+const char* IndexBackendToString(IndexBackend backend);
+
+/// One indexed entity: an external id (task index, slot number, ...) and
+/// its location box. Current entities are degenerate (point) boxes,
+/// predicted entities are uniform-kernel boxes.
+struct IndexEntry {
+  int64_t id = -1;
+  BBox box;
+};
+
+/// Non-owning callable references used by the query visitors; avoid a
+/// std::function allocation in the pair-generation inner loop.
+///
+/// Radius queries pass the exact min-distance they already computed for
+/// the filter, so callers (e.g. BuildPairPool's reachability test) need
+/// not recompute it.
+class RadiusVisitor {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, RadiusVisitor>>>
+  RadiusVisitor(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, int64_t id, const BBox& box, double min_dist) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(id, box, min_dist);
+        }) {}
+
+  void operator()(int64_t id, const BBox& box, double min_dist) const {
+    call_(obj_, id, box, min_dist);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int64_t, const BBox&, double);
+};
+
+class RectVisitor {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, RectVisitor>>>
+  RectVisitor(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, int64_t id, const BBox& box) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(id, box);
+        }) {}
+
+  void operator()(int64_t id, const BBox& box) const { call_(obj_, id, box); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int64_t, const BBox&);
+};
+
+/// A spatial index over entity location boxes in the unit data space.
+/// Backends answer radius and rectangle queries with *exact* min-distance
+/// and intersection semantics: the set of visited entries is identical
+/// across backends (property-tested), only the work done differs.
+///
+/// Visit order is backend-specific; callers that need determinism across
+/// backends must sort the visited ids.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Replaces the contents with `entries`.
+  virtual void BulkLoad(const std::vector<IndexEntry>& entries) = 0;
+
+  /// Adds one entry.
+  virtual void Insert(int64_t id, const BBox& box) = 0;
+
+  /// Removes the entry previously inserted as (id, box). Returns false
+  /// when no such entry exists. `box` must equal the inserted box.
+  virtual bool Erase(int64_t id, const BBox& box) = 0;
+
+  /// Visits every entry whose box is within Euclidean min-distance
+  /// `radius` of `query` (inclusive; radius 0 selects touching boxes),
+  /// passing that min-distance along.
+  virtual void QueryRadius(const BBox& query, double radius,
+                           const RadiusVisitor& visit) const = 0;
+
+  /// Visits every entry whose box intersects `rect` (boundary-inclusive).
+  virtual void QueryRect(const BBox& rect, const RectVisitor& visit) const = 0;
+
+  /// Number of entries.
+  virtual size_t size() const = 0;
+
+  /// Display name of the backend.
+  virtual const char* name() const = 0;
+};
+
+/// Workload size (|W| * |T|) below which kAuto picks brute force: at tiny
+/// scale the grid's build cost exceeds the scan it saves.
+inline constexpr size_t kAutoBruteForceMaxPairs = 64 * 64;
+
+/// Resolves kAuto to a concrete backend for a workload of
+/// `num_queries * num_entries` candidate pairs.
+IndexBackend ResolveBackend(IndexBackend backend, size_t num_queries,
+                            size_t num_entries);
+
+/// Creates an index of the given backend. `backend` must be concrete:
+/// resolve kAuto with ResolveBackend first (the single selection rule).
+std::unique_ptr<SpatialIndex> CreateSpatialIndex(IndexBackend backend);
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_SPATIAL_INDEX_H_

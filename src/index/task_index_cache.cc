@@ -1,0 +1,141 @@
+#include "index/task_index_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+/// Read-only adapter translating internal slots to instance task indices.
+class TaskIndexCache::View : public SpatialIndex {
+ public:
+  void Reset(const SpatialIndex* index, const std::vector<int32_t>* slot_to_index,
+             size_t num_tasks) {
+    index_ = index;
+    slot_to_index_ = slot_to_index;
+    num_tasks_ = num_tasks;
+  }
+
+  void BulkLoad(const std::vector<IndexEntry>&) override {
+    MQA_CHECK(false) << "TaskIndexCache view is read-only";
+  }
+  void Insert(int64_t, const BBox&) override {
+    MQA_CHECK(false) << "TaskIndexCache view is read-only";
+  }
+  bool Erase(int64_t, const BBox&) override {
+    MQA_CHECK(false) << "TaskIndexCache view is read-only";
+    return false;
+  }
+
+  void QueryRadius(const BBox& query, double radius,
+                   const RadiusVisitor& visit) const override {
+    index_->QueryRadius(
+        query, radius, [&](int64_t slot, const BBox& box, double min_dist) {
+          visit((*slot_to_index_)[static_cast<size_t>(slot)], box, min_dist);
+        });
+  }
+
+  void QueryRect(const BBox& rect, const RectVisitor& visit) const override {
+    index_->QueryRect(rect, [&](int64_t slot, const BBox& box) {
+      visit((*slot_to_index_)[static_cast<size_t>(slot)], box);
+    });
+  }
+
+  size_t size() const override { return num_tasks_; }
+  const char* name() const override { return index_->name(); }
+
+ private:
+  const SpatialIndex* index_ = nullptr;
+  const std::vector<int32_t>* slot_to_index_ = nullptr;
+  size_t num_tasks_ = 0;
+};
+
+TaskIndexCache::TaskIndexCache(IndexBackend backend)
+    : index_(CreateSpatialIndex(backend == IndexBackend::kAuto
+                                    ? IndexBackend::kGrid
+                                    : backend)),
+      view_(std::make_unique<View>()) {}
+
+TaskIndexCache::~TaskIndexCache() = default;
+
+int32_t TaskIndexCache::AllocateSlot(const BBox& box) {
+  if (!free_slots_.empty()) {
+    const int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_boxes_[static_cast<size_t>(slot)] = box;
+    return slot;
+  }
+  slot_boxes_.push_back(box);
+  return static_cast<int32_t>(slot_boxes_.size() - 1);
+}
+
+void TaskIndexCache::BeginInstance(const std::vector<Task>& tasks) {
+  if (live_.empty()) {
+    // Nothing to carry over (first instance, or the no-reuse baseline):
+    // one bulk build at the right resolution instead of incremental
+    // insert/rebalance churn.
+    slot_boxes_.clear();
+    free_slots_.clear();
+    slot_to_index_.resize(tasks.size());
+    std::vector<IndexEntry> entries;
+    entries.reserve(tasks.size());
+    for (size_t j = 0; j < tasks.size(); ++j) {
+      slot_boxes_.push_back(tasks[j].location);
+      entries.push_back({static_cast<int64_t>(j), tasks[j].location});
+      live_.emplace(tasks[j].id, static_cast<int32_t>(j));
+      slot_to_index_[j] = static_cast<int32_t>(j);
+    }
+    index_->BulkLoad(entries);
+    view_->Reset(index_.get(), &slot_to_index_, tasks.size());
+    return;
+  }
+
+  // Every live slot was allocated before this call, so `claimed` sized to
+  // the current slot store covers them all.
+  std::vector<char> claimed(slot_boxes_.size(), 0);
+  std::unordered_multimap<TaskId, int32_t> next_live;
+  next_live.reserve(tasks.size());
+
+  slot_to_index_.assign(slot_boxes_.size(), -1);
+  for (size_t j = 0; j < tasks.size(); ++j) {
+    const Task& t = tasks[j];
+    int32_t slot = -1;
+    auto range = live_.equal_range(t.id);
+    for (auto it = range.first; it != range.second; ++it) {
+      const int32_t s = it->second;
+      if (!claimed[static_cast<size_t>(s)] &&
+          slot_boxes_[static_cast<size_t>(s)] == t.location) {
+        slot = s;
+        claimed[static_cast<size_t>(s)] = 1;
+        break;
+      }
+    }
+    if (slot < 0) {
+      slot = AllocateSlot(t.location);
+      index_->Insert(slot, t.location);
+      if (static_cast<size_t>(slot) < claimed.size()) {
+        claimed[static_cast<size_t>(slot)] = 1;  // reused a freed slot
+      }
+    }
+    next_live.emplace(t.id, slot);
+    if (static_cast<size_t>(slot) >= slot_to_index_.size()) {
+      slot_to_index_.resize(static_cast<size_t>(slot) + 1, -1);
+    }
+    slot_to_index_[static_cast<size_t>(slot)] = static_cast<int32_t>(j);
+  }
+
+  // Departures: live entries nothing claimed this instance.
+  for (const auto& [id, slot] : live_) {
+    if (claimed[static_cast<size_t>(slot)]) continue;
+    const bool erased = index_->Erase(slot, slot_boxes_[static_cast<size_t>(slot)]);
+    MQA_CHECK(erased) << "task index cache out of sync at slot " << slot;
+    free_slots_.push_back(slot);
+  }
+  live_ = std::move(next_live);
+
+  view_->Reset(index_.get(), &slot_to_index_, tasks.size());
+}
+
+const SpatialIndex* TaskIndexCache::view() const { return view_.get(); }
+
+}  // namespace mqa

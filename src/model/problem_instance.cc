@@ -23,6 +23,13 @@ ProblemInstance::ProblemInstance(std::vector<Worker> workers,
 }
 
 bool ProblemInstance::CanReach(const Worker& worker, const Task& task) const {
+  return CanReachAtDistance(worker, task,
+                            worker.location.MinDistance(task.location));
+}
+
+bool ProblemInstance::CanReachAtDistance(const Worker& worker,
+                                         const Task& task,
+                                         double min_dist) const {
   if (worker.velocity <= 0.0) return false;
   // A predicted worker only joins at the next instance; serving a
   // *current* task leaves it e_j minus one instance of travel budget. A
@@ -34,7 +41,6 @@ bool ProblemInstance::CanReach(const Worker& worker, const Task& task) const {
     deadline -= kInstanceDuration;
     if (deadline < 0.0) return false;
   }
-  const double min_dist = worker.location.MinDistance(task.location);
   return min_dist <= worker.velocity * deadline;
 }
 

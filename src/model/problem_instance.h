@@ -12,6 +12,7 @@
 namespace mqa {
 
 class QualityModel;
+class SpatialIndex;
 
 /// One-shot input to an MQA assigner: the current workers W_p and tasks
 /// T_p, plus (optionally) the predicted workers Ŵ_{p+1} and tasks T̂_{p+1},
@@ -53,6 +54,14 @@ class ProblemInstance {
 
   const QualityModel* quality_model() const { return quality_; }
 
+  /// Optional spatial index over tasks(), used by BuildPairPool to skip
+  /// the full worker x task scan. Entry ids must be indices into tasks()
+  /// and the index must cover all tasks (current and predicted). Like the
+  /// quality model it is non-owning and must outlive the instance; the
+  /// simulator points this at its incrementally maintained TaskIndexCache.
+  const SpatialIndex* task_index() const { return task_index_; }
+  void set_task_index(const SpatialIndex* index) { task_index_ = index; }
+
   /// Unit price C per distance unit (paper Section II-C).
   double unit_price() const { return unit_price_; }
 
@@ -66,6 +75,13 @@ class ProblemInstance {
   /// the risk (see DESIGN.md §3).
   bool CanReach(const Worker& worker, const Task& task) const;
 
+  /// CanReach with the worker-to-task box min-distance already in hand
+  /// (spatial-index radius queries compute it for their filter; this
+  /// avoids recomputing it per candidate on the pair-generation hot
+  /// path). `min_dist` must equal worker.location.MinDistance(task.location).
+  bool CanReachAtDistance(const Worker& worker, const Task& task,
+                          double min_dist) const;
+
   /// Validates internal consistency (ordering of current vs predicted,
   /// non-negative parameters). Returns a descriptive error on violation.
   Status Validate() const;
@@ -76,6 +92,7 @@ class ProblemInstance {
   size_t num_current_workers_ = 0;
   size_t num_current_tasks_ = 0;
   const QualityModel* quality_ = nullptr;
+  const SpatialIndex* task_index_ = nullptr;
   double unit_price_ = 1.0;
   double budget_ = 0.0;
 };

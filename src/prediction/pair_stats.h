@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/spatial_index.h"
 #include "model/problem_instance.h"
 #include "stats/running_stats.h"
 #include "stats/uncertain.h"
@@ -24,8 +25,21 @@ namespace mqa {
 class PairStatistics {
  public:
   /// Scans the current-current valid pairs of `instance` once and builds
-  /// all per-task, per-worker and global statistics.
+  /// all per-task, per-worker and global statistics. Delegates to the
+  /// indexed constructor with an internal brute-force index — slightly
+  /// more setup than a bare double loop, accepted so the scan logic (and
+  /// its determinism subtleties) exists exactly once.
   explicit PairStatistics(const ProblemInstance& instance);
+
+  /// Same scan, but candidate tasks per worker come from radius queries
+  /// over `task_index` (entry ids = task indices; may cover predicted
+  /// tasks too — ids past the current range are skipped) with radius
+  /// ReachRadius(worker, max_deadline), so the scan is sublinear instead
+  /// of |W_p| x |T_p|. Statistics are identical to the plain scan: the
+  /// per-worker candidates are sorted, preserving accumulation order.
+  /// BuildPairPool uses this with the index it already has.
+  PairStatistics(const ProblemInstance& instance,
+                 const SpatialIndex* task_index, double max_deadline);
 
   /// Quality distribution for a pair of a predicted worker with current
   /// task index `task_index` (Case 1).

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "index/task_index_cache.h"
 #include "model/assignment.h"
 #include "prediction/grid.h"
 
@@ -38,6 +39,13 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
   GridPredictor predictor(config_.prediction,
                           MakeCountPredictor(config_.prediction.predictor));
   SimulationSummary summary;
+
+  // Task index maintained across instances: arrivals are inserted and
+  // departures erased, so steady-state index upkeep costs O(churn), not
+  // O(|T|), and BuildPairPool never re-buckets carried-over tasks.
+  // Without reuse it is recreated below, once per instance.
+  auto task_index_cache =
+      std::make_unique<TaskIndexCache>(config_.index_backend);
 
   std::vector<Worker> available_workers;
   std::vector<Task> available_tasks;
@@ -114,9 +122,15 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
         static_cast<int64_t>(prediction.workers.size());
     metrics.predicted_tasks = static_cast<int64_t>(prediction.tasks.size());
 
-    const ProblemInstance instance(
+    if (!config_.reuse_task_index) {
+      task_index_cache =
+          std::make_unique<TaskIndexCache>(config_.index_backend);
+    }
+    task_index_cache->BeginInstance(inst_tasks);
+    ProblemInstance instance(
         std::move(inst_workers), num_current_workers, std::move(inst_tasks),
         num_current_tasks, quality_, config_.unit_price, config_.budget);
+    instance.set_task_index(task_index_cache->view());
 
     // --- Assign (line 5). ---
     AssignmentResult result;

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/assigner.h"
+#include "index/spatial_index.h"
 #include "prediction/predictor.h"
 #include "quality/quality_model.h"
 #include "sim/arrival_stream.h"
@@ -35,6 +36,16 @@ struct SimulatorConfig {
   /// Validate every assignment against the Def. 3/4 invariants (cheap
   /// relative to assignment; keep on except in microbenchmarks).
   bool validate_assignments = true;
+
+  /// Spatial-index backend for valid-pair generation; the simulator
+  /// always hands the assigner a task index through
+  /// ProblemInstance::task_index (kAuto resolves to the grid). With
+  /// reuse_task_index the index is maintained across time instances
+  /// (insert arrivals / erase departures) so carried-over tasks are
+  /// never re-bucketed; without it the index is rebuilt from scratch
+  /// every instance (the no-reuse baseline for measurements).
+  IndexBackend index_backend = IndexBackend::kAuto;
+  bool reuse_task_index = true;
 };
 
 /// Drives an Assigner through all time instances of an arrival stream:

@@ -1,0 +1,237 @@
+// Unit tests for the spatial-index subsystem: QueryRadius/QueryRect
+// boundary behavior (cell edges, zero radius, empty index), multi-cell
+// dedup, incremental Insert/Erase, and randomized grid-vs-brute
+// cross-checks at the raw query level.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/brute_force_index.h"
+#include "index/grid_index.h"
+#include "index/spatial_index.h"
+
+namespace mqa {
+namespace {
+
+std::vector<int64_t> CollectRadius(const SpatialIndex& index, const BBox& query,
+                                   double radius) {
+  std::vector<int64_t> ids;
+  index.QueryRadius(query, radius, [&](int64_t id, const BBox& box,
+                                       double min_dist) {
+    // The reported distance must be the exact min-distance, not a bound.
+    EXPECT_EQ(min_dist, query.MinDistance(box));
+    ids.push_back(id);
+  });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int64_t> CollectRect(const SpatialIndex& index, const BBox& rect) {
+  std::vector<int64_t> ids;
+  index.QueryRect(rect, [&](int64_t id, const BBox&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsNothing) {
+  GridIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(CollectRadius(index, BBox::FromPoint({0.5, 0.5}), 10.0).empty());
+  EXPECT_TRUE(CollectRect(index, BBox({0, 0}, {1, 1})).empty());
+}
+
+TEST(GridIndexTest, ZeroRadiusIsInclusive) {
+  GridIndex index(8);
+  index.Insert(1, BBox::FromPoint({0.5, 0.5}));
+  index.Insert(2, BBox::FromPoint({0.5 + 1e-9, 0.5}));
+  // Radius 0 selects only entries at distance exactly 0.
+  EXPECT_EQ(CollectRadius(index, BBox::FromPoint({0.5, 0.5}), 0.0),
+            (std::vector<int64_t>{1}));
+  // A box touching the query point also has min-distance 0.
+  index.Insert(3, BBox({0.4, 0.4}, {0.5, 0.5}));
+  EXPECT_EQ(CollectRadius(index, BBox::FromPoint({0.5, 0.5}), 0.0),
+            (std::vector<int64_t>{1, 3}));
+}
+
+TEST(GridIndexTest, PointsOnCellEdges) {
+  // 4x4 grid: interior edges at 0.25, 0.5, 0.75. Entries exactly on an
+  // edge must be found from queries on either side.
+  GridIndex index(4);
+  index.Insert(1, BBox::FromPoint({0.25, 0.25}));
+  index.Insert(2, BBox::FromPoint({0.5, 0.5}));
+  index.Insert(3, BBox::FromPoint({0.75, 0.75}));
+  for (int64_t id = 1; id <= 3; ++id) {
+    const double c = 0.25 * static_cast<double>(id);
+    // Query from the lower-left side of the edge.
+    EXPECT_EQ(CollectRadius(index, BBox::FromPoint({c - 0.01, c - 0.01}),
+                            0.05),
+              (std::vector<int64_t>{id}))
+        << "edge " << c;
+    // And from the upper-right side.
+    EXPECT_EQ(CollectRadius(index, BBox::FromPoint({c + 0.01, c + 0.01}),
+                            0.05),
+              (std::vector<int64_t>{id}))
+        << "edge " << c;
+  }
+}
+
+TEST(GridIndexTest, RadiusBoundaryIsInclusive) {
+  GridIndex index(8);
+  index.Insert(7, BBox::FromPoint({0.25, 0.5}));
+  const BBox query = BBox::FromPoint({0.75, 0.5});
+  EXPECT_EQ(CollectRadius(index, query, 0.5), (std::vector<int64_t>{7}));
+  EXPECT_TRUE(CollectRadius(index, query, 0.5 - 1e-9).empty());
+}
+
+TEST(GridIndexTest, MultiCellBoxReportedOnce) {
+  // A box spanning many cells is bucketed into each; queries overlapping
+  // several of those cells must still visit it exactly once.
+  GridIndex index(8);
+  index.Insert(42, BBox({0.1, 0.1}, {0.9, 0.9}));
+  int visits = 0;
+  index.QueryRadius(BBox({0.0, 0.0}, {1.0, 1.0}), 0.5,
+                    [&](int64_t id, const BBox&, double) {
+                      EXPECT_EQ(id, 42);
+                      ++visits;
+                    });
+  EXPECT_EQ(visits, 1);
+  visits = 0;
+  index.QueryRect(BBox({0.2, 0.2}, {0.8, 0.8}),
+                  [&](int64_t, const BBox&) { ++visits; });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(GridIndexTest, EntitiesOutsideUnitSquareAreFound) {
+  GridIndex index(8);
+  index.Insert(1, BBox::FromPoint({1.4, 0.5}));
+  index.Insert(2, BBox::FromPoint({-0.3, -0.2}));
+  EXPECT_EQ(CollectRadius(index, BBox::FromPoint({0.9, 0.5}), 0.5),
+            (std::vector<int64_t>{1}));
+  EXPECT_EQ(CollectRadius(index, BBox::FromPoint({0.0, 0.0}), 0.4),
+            (std::vector<int64_t>{2}));
+  EXPECT_TRUE(CollectRadius(index, BBox::FromPoint({0.5, 0.5}), 0.2).empty());
+}
+
+TEST(GridIndexTest, QueryRectBoundaryInclusive) {
+  GridIndex index(4);
+  index.Insert(1, BBox::FromPoint({0.3, 0.3}));
+  EXPECT_EQ(CollectRect(index, BBox({0.3, 0.3}, {0.4, 0.4})),
+            (std::vector<int64_t>{1}));
+  EXPECT_EQ(CollectRect(index, BBox({0.2, 0.2}, {0.3, 0.3})),
+            (std::vector<int64_t>{1}));
+  EXPECT_TRUE(CollectRect(index, BBox({0.31, 0.31}, {0.4, 0.4})).empty());
+}
+
+TEST(GridIndexTest, InsertEraseAndBulkLoadReset) {
+  GridIndex index(4);
+  index.Insert(1, BBox::FromPoint({0.1, 0.1}));
+  index.Insert(2, BBox({0.2, 0.2}, {0.8, 0.8}));
+  EXPECT_EQ(index.size(), 2u);
+
+  EXPECT_TRUE(index.Erase(2, BBox({0.2, 0.2}, {0.8, 0.8})));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_FALSE(index.Erase(2, BBox({0.2, 0.2}, {0.8, 0.8})));
+  // Erase requires the exact inserted box.
+  EXPECT_FALSE(index.Erase(1, BBox::FromPoint({0.1, 0.2})));
+  EXPECT_EQ(CollectRadius(index, BBox({0, 0}, {1, 1}), 1.0),
+            (std::vector<int64_t>{1}));
+
+  index.BulkLoad({{5, BBox::FromPoint({0.5, 0.5})}});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(CollectRadius(index, BBox({0, 0}, {1, 1}), 1.0),
+            (std::vector<int64_t>{5}));
+}
+
+TEST(GridIndexTest, AutoResolutionRebalancesUnderGrowth) {
+  GridIndex index;  // auto resolution, starts at 1x1
+  const int initial_side = index.cells_per_side();
+  Rng rng(7);
+  std::vector<IndexEntry> entries;
+  for (int64_t id = 0; id < 2000; ++id) {
+    const BBox box = BBox::FromPoint({rng.Uniform(), rng.Uniform()});
+    entries.push_back({id, box});
+    index.Insert(id, box);
+  }
+  EXPECT_GT(index.cells_per_side(), initial_side);
+  EXPECT_EQ(index.size(), 2000u);
+
+  // Rebalancing must not lose or duplicate entries.
+  BruteForceIndex brute;
+  brute.BulkLoad(entries);
+  const BBox query = BBox::FromPoint({0.4, 0.6});
+  EXPECT_EQ(CollectRadius(index, query, 0.15),
+            CollectRadius(brute, query, 0.15));
+
+  // Shrinking 4x past the last build rebalances downward too.
+  const int grown_side = index.cells_per_side();
+  for (int64_t id = 100; id < 2000; ++id) {
+    ASSERT_TRUE(index.Erase(id, entries[static_cast<size_t>(id)].box));
+    ASSERT_TRUE(brute.Erase(id, entries[static_cast<size_t>(id)].box));
+  }
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_LT(index.cells_per_side(), grown_side);
+  EXPECT_EQ(CollectRadius(index, query, 0.25),
+            CollectRadius(brute, query, 0.25));
+}
+
+TEST(GridIndexTest, MatchesBruteForceOnRandomQueries) {
+  Rng rng(123);
+  std::vector<IndexEntry> entries;
+  for (int64_t id = 0; id < 500; ++id) {
+    if (rng.Bernoulli(0.3)) {
+      // Kernel boxes like predicted entities.
+      const Point c{rng.Uniform(), rng.Uniform()};
+      entries.push_back(
+          {id, BBox::KernelBox(c, rng.Uniform(0.0, 0.2),
+                               rng.Uniform(0.0, 0.2))});
+    } else {
+      entries.push_back({id, BBox::FromPoint({rng.Uniform(), rng.Uniform()})});
+    }
+  }
+  for (const int side : {0, 1, 3, 16, 100}) {
+    GridIndex grid(side);
+    grid.BulkLoad(entries);
+    BruteForceIndex brute;
+    brute.BulkLoad(entries);
+    for (int q = 0; q < 200; ++q) {
+      const BBox query =
+          q % 2 == 0
+              ? BBox::FromPoint({rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)})
+              : BBox::KernelBox({rng.Uniform(), rng.Uniform()},
+                                rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3));
+      const double radius = rng.Uniform(0.0, 0.4);
+      EXPECT_EQ(CollectRadius(grid, query, radius),
+                CollectRadius(brute, query, radius))
+          << "side=" << side << " q=" << q;
+      EXPECT_EQ(CollectRect(grid, query), CollectRect(brute, query))
+          << "side=" << side << " q=" << q;
+    }
+  }
+}
+
+TEST(SpatialIndexTest, FactoryAndResolve) {
+  EXPECT_EQ(ResolveBackend(IndexBackend::kGrid, 1, 1), IndexBackend::kGrid);
+  EXPECT_EQ(ResolveBackend(IndexBackend::kBruteForce, 100000, 100000),
+            IndexBackend::kBruteForce);
+  EXPECT_EQ(ResolveBackend(IndexBackend::kAuto, 10, 10),
+            IndexBackend::kBruteForce);
+  EXPECT_EQ(ResolveBackend(IndexBackend::kAuto, 1000, 1000),
+            IndexBackend::kGrid);
+
+  EXPECT_STREQ(CreateSpatialIndex(IndexBackend::kGrid)->name(), "GRID");
+  EXPECT_STREQ(CreateSpatialIndex(IndexBackend::kBruteForce)->name(), "BRUTE");
+  EXPECT_STREQ(
+      CreateSpatialIndex(ResolveBackend(IndexBackend::kAuto, 10, 10))->name(),
+      "BRUTE");
+  EXPECT_STREQ(CreateSpatialIndex(ResolveBackend(IndexBackend::kAuto, 1000,
+                                                 1000))
+                   ->name(),
+               "GRID");
+}
+
+}  // namespace
+}  // namespace mqa
