@@ -41,6 +41,7 @@ struct CliOptions {
   bool rejoin = false;
   bool csv = false;
   uint64_t seed = 42;
+  int threads = 1;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -67,7 +68,7 @@ void PrintUsage() {
       "  --workers=N --tasks=N --instances=R --budget=B --unit-price=C\n"
       "  --q-lo --q-hi --e-lo --e-hi --v-lo --v-hi (paper ranges)\n"
       "  --worker-dist=gaussian|uniform|zipf --task-dist=...\n"
-      "  --gamma=G --window=W --seed=S\n"
+      "  --gamma=G --window=W --seed=S --threads=T\n"
       "  --no-prediction --rejoin --csv\n");
 }
 
@@ -101,7 +102,8 @@ int main(int argc, char** argv) {
         ParseNumeric(a, "--v-hi", &opt.v_hi) ||
         ParseNumeric(a, "--gamma", &opt.gamma) ||
         ParseNumeric(a, "--window", &opt.window) ||
-        ParseNumeric(a, "--seed", &opt.seed)) {
+        ParseNumeric(a, "--seed", &opt.seed) ||
+        ParseNumeric(a, "--threads", &opt.threads)) {
       continue;
     }
     if (std::strcmp(a, "--no-prediction") == 0) {
@@ -167,6 +169,9 @@ int main(int argc, char** argv) {
   config.prediction.window = opt.window;
   config.prediction.seed = opt.seed;
   config.workers_rejoin = opt.rejoin;
+  // Results are byte-identical for any thread count (see
+  // src/exec/README.md); --threads only changes wall-clock time.
+  config.num_threads = opt.threads;
 
   Simulator sim(config, &quality);
   auto assigner = CreateAssigner(kind, {.seed = opt.seed});

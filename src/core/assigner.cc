@@ -5,6 +5,7 @@
 #include "core/greedy.h"
 #include "core/random_assigner.h"
 #include "core/valid_pairs.h"
+#include "exec/parallel_runner.h"
 
 namespace mqa {
 
@@ -24,72 +25,79 @@ const char* AssignerKindToString(AssignerKind kind) {
 
 namespace {
 
-PairPoolOptions PoolOptions(const AssignerOptions& options) {
-  PairPoolOptions pool;
-  pool.backend = options.index_backend;
-  return pool;
-}
+// Shared plumbing: options storage plus the assigner's ParallelRunner
+// (whose pool is null at num_threads <= 1 — that rule lives in the
+// runner alone). The runner and its threads live as long as the
+// assigner, so the per-Assign cost of parallelism is only the fan-out,
+// never thread creation.
+class OptionsAssigner : public Assigner {
+ protected:
+  explicit OptionsAssigner(const AssignerOptions& options)
+      : options_(options), runner_(options.num_threads) {}
 
-class GreedyAssigner : public Assigner {
+  PairPoolOptions PoolOptions() const {
+    PairPoolOptions pool;
+    pool.backend = options_.index_backend;
+    pool.thread_pool = runner_.pool();
+    return pool;
+  }
+
+  AssignerOptions options_;
+
+ private:
+  ParallelRunner runner_;
+};
+
+class GreedyAssigner : public OptionsAssigner {
  public:
   explicit GreedyAssigner(const AssignerOptions& options)
-      : options_(options) {}
+      : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunGreedy(instance, options_.delta, PoolOptions(options_));
+    return RunGreedy(instance, options_.delta, PoolOptions());
   }
 
   const char* name() const override { return "GREEDY"; }
-
- private:
-  AssignerOptions options_;
 };
 
-class DivideConquerAssigner : public Assigner {
+class DivideConquerAssigner : public OptionsAssigner {
  public:
   explicit DivideConquerAssigner(const AssignerOptions& options)
-      : options_(options) {}
+      : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
     return RunDivideConquer(instance, options_.delta, options_.dc_branching,
-                            PoolOptions(options_));
+                            PoolOptions());
   }
 
   const char* name() const override { return "D&C"; }
-
- private:
-  AssignerOptions options_;
 };
 
-class RandomAssigner : public Assigner {
+class RandomAssigner : public OptionsAssigner {
  public:
   explicit RandomAssigner(const AssignerOptions& options)
-      : options_(options), next_seed_(options.seed) {}
+      : OptionsAssigner(options), next_seed_(options.seed) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunRandom(instance, options_.delta, next_seed_++,
-                     PoolOptions(options_));
+    return RunRandom(instance, options_.delta, next_seed_++, PoolOptions());
   }
 
   const char* name() const override { return "RANDOM"; }
 
  private:
-  AssignerOptions options_;
   uint64_t next_seed_;
 };
 
-class ExactAssigner : public Assigner {
+class ExactAssigner : public OptionsAssigner {
  public:
-  explicit ExactAssigner(const AssignerOptions& options) : options_(options) {}
+  explicit ExactAssigner(const AssignerOptions& options)
+      : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    return RunExact(instance, kExactMaxEntities, PoolOptions(options_));
+    return RunExact(instance, kExactMaxEntities, PoolOptions());
   }
 
   const char* name() const override { return "EXACT"; }
-
- private:
-  AssignerOptions options_;
 };
 
 }  // namespace

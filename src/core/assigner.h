@@ -40,6 +40,20 @@ struct AssignerOptions {
   /// task index (ProblemInstance::task_index), as the simulator's
   /// incrementally maintained index does.
   IndexBackend index_backend = IndexBackend::kAuto;
+
+  /// Total threads (including the calling one) the assigner fans work
+  /// across: sharded pair generation for every algorithm, plus the
+  /// subproblem solves of the divide-and-conquer recursion. Any count
+  /// produces byte-identical assignments — thread count only changes
+  /// wall-clock time (the determinism contract of src/exec/README.md,
+  /// property-tested in tests/parallel_property_test.cc).
+  ///
+  /// Precedence: > 1 gives the assigner its own pool, which overrides
+  /// any pool on the instance; <= 1 (the default) means "no pool of my
+  /// own", in which case a pool the instance carries
+  /// (SimulatorConfig::num_threads) still applies. A fully sequential
+  /// run therefore needs both knobs at their defaults.
+  int num_threads = 1;
 };
 
 /// A one-instance MQA solver. Implementations are stateless across calls

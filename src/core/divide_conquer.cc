@@ -9,10 +9,15 @@
 #include "core/greedy.h"
 #include "core/merge.h"
 #include "core/valid_pairs.h"
+#include "exec/thread_pool.h"
 
 namespace mqa {
 
 namespace {
+
+// Subproblems smaller than this solve faster than the fan-out overhead of
+// scheduling them; below it the recursion stays on the calling thread.
+constexpr size_t kMinParallelTasksPerNode = 16;
 
 // Average number of valid workers per task within one subproblem.
 double SubproblemDegree(const Subproblem& sub) {
@@ -50,11 +55,18 @@ bool WithinBudgetUpperBound(const PairPool& pool,
   return current_ub <= budget + kEps && future_ub <= budget + kEps;
 }
 
-// Recursive MQA_D&C over one subproblem.
+// Recursive MQA_D&C over one subproblem. `exec` (nullable) fans the
+// subproblem solves of one level across the pool; each solve reads only
+// (instance, pool, sub) and writes its own results slot, and the merge
+// below consumes the slots in decomposition order on this thread — so the
+// selection is byte-identical to the sequential loop for any thread
+// count. Nested levels may fan out too: ThreadPool::ParallelFor composes
+// (the caller always drains its own items).
 std::vector<int32_t> SolveRecursive(const ProblemInstance& instance,
                                     const PairPool& pool,
                                     const Subproblem& problem, double delta,
-                                    int branching, int depth) {
+                                    int branching, int depth,
+                                    ThreadPool* exec) {
   MQA_CHECK(depth < 64) << "divide-and-conquer recursion too deep";
   if (problem.task_indices.empty()) return {};
   if (problem.num_tasks() == 1) {
@@ -71,12 +83,26 @@ std::vector<int32_t> SolveRecursive(const ProblemInstance& instance,
   const std::vector<Subproblem> subproblems =
       DecomposeTasks(instance, pool, problem.task_indices, g);
 
-  std::vector<int32_t> merged;
-  for (const Subproblem& sub : subproblems) {
-    std::vector<int32_t> result =
+  std::vector<std::vector<int32_t>> results(subproblems.size());
+  const auto solve_one = [&](int64_t k) {
+    const Subproblem& sub = subproblems[static_cast<size_t>(k)];
+    results[static_cast<size_t>(k)] =
         sub.num_tasks() > 1
-            ? SolveRecursive(instance, pool, sub, delta, branching, depth + 1)
+            ? SolveRecursive(instance, pool, sub, delta, branching, depth + 1,
+                             exec)
             : GreedyOver(instance, pool, sub.pair_ids, delta);
+  };
+  if (exec != nullptr && subproblems.size() > 1 &&
+      problem.num_tasks() >= kMinParallelTasksPerNode) {
+    exec->ParallelFor(static_cast<int64_t>(subproblems.size()), solve_one);
+  } else {
+    for (size_t k = 0; k < subproblems.size(); ++k) {
+      solve_one(static_cast<int64_t>(k));
+    }
+  }
+
+  std::vector<int32_t> merged;
+  for (const std::vector<int32_t>& result : results) {
     MergeResults(pool, &merged, result);
   }
 
@@ -104,8 +130,15 @@ AssignmentResult RunDivideConquer(const ProblemInstance& instance,
                          pool.pairs_by_task[j].end());
   }
 
+  // Same precedence as BuildPairPool: the assigner's own pool, then the
+  // instance's (set by the simulator). Null runs the sequential solve.
+  ThreadPool* exec = options.thread_pool != nullptr ? options.thread_pool
+                                                    : instance.thread_pool();
+  if (exec != nullptr && exec->num_threads() <= 1) exec = nullptr;
+
   std::vector<int32_t> selected =
-      SolveRecursive(instance, pool, root, delta, branching, /*depth=*/0);
+      SolveRecursive(instance, pool, root, delta, branching, /*depth=*/0,
+                     exec);
 
   // The merge phase does not re-check budgets after replacements; enforce
   // the hard constraint once at the top before emitting.

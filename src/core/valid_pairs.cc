@@ -5,12 +5,190 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/region_sharder.h"
+#include "exec/thread_pool.h"
 #include "index/candidate_scan.h"
 #include "prediction/pair_stats.h"
 #include "quality/quality_model.h"
 #include "stats/distance_stats.h"
 
 namespace mqa {
+
+namespace {
+
+/// One survivor of a worker's reachability scan: the task, the exact
+/// worker-to-task box min-distance, and — for current-current pairs only —
+/// the quality score, which doubles as the PairStatistics sample.
+struct Candidate {
+  int32_t task = 0;
+  double min_dist = 0.0;
+  double score = 0.0;
+};
+
+/// Pass 1 of the builder: worker `i`'s CanReach-surviving candidates in
+/// ascending task order, scoring the current-current ones. Pure given
+/// (instance, index) — safe to run for different workers concurrently.
+void CollectCandidates(const ProblemInstance& instance,
+                       const QualityModel& model, const SpatialIndex& index,
+                       size_t i, double max_deadline, size_t num_tasks,
+                       std::vector<std::pair<int32_t, double>>* scratch,
+                       std::vector<Candidate>* out) {
+  const Worker& w = instance.workers()[i];
+  ForEachReachableCandidate(index, w, max_deadline, num_tasks, scratch,
+                            [&](int32_t jj, double min_dist) {
+    const Task& t = instance.tasks()[static_cast<size_t>(jj)];
+    if (!instance.CanReachAtDistance(w, t, min_dist)) return;
+    Candidate c;
+    c.task = jj;
+    c.min_dist = min_dist;
+    if (!w.predicted && !t.predicted) c.score = model.Score(w, t);
+    out->push_back(c);
+  });
+}
+
+/// Pass 2: materializes the pair for worker `i` and candidate `c`.
+/// Pure given (instance, stats) — byte-identical regardless of the thread
+/// (or order) it runs on.
+CandidatePair MakePair(const ProblemInstance& instance,
+                       const PairStatistics* stats, size_t i,
+                       const Candidate& c) {
+  const Worker& w = instance.workers()[i];
+  const Task& t = instance.tasks()[static_cast<size_t>(c.task)];
+
+  CandidatePair pair;
+  pair.worker_index = static_cast<int32_t>(i);
+  pair.task_index = c.task;
+  pair.involves_predicted = w.predicted || t.predicted;
+  pair.cost = DistanceBetween(w.location, t.location)
+                  .AffineTransform(instance.unit_price(), 0.0);
+
+  if (!pair.involves_predicted) {
+    pair.quality = Uncertain::Fixed(c.score);
+    pair.existence = 1.0;
+  } else if (w.predicted && !t.predicted) {
+    pair.quality = stats->QualityCase1(pair.task_index);
+    pair.existence = stats->ExistenceCase1(pair.task_index);
+  } else if (!w.predicted && t.predicted) {
+    pair.quality = stats->QualityCase2(pair.worker_index);
+    pair.existence = stats->ExistenceCase2(pair.worker_index);
+  } else {
+    pair.quality = stats->QualityCase3();
+    pair.existence = stats->ExistenceCase3();
+  }
+  pair.FinalizeEffectiveQuality();
+  return pair;
+}
+
+/// Appends `pair` to the pool, maintaining the adjacency lists.
+void AppendPair(PairPool* pool, const CandidatePair& pair) {
+  const int32_t pair_id = static_cast<int32_t>(pool->pairs.size());
+  pool->pairs.push_back(pair);
+  pool->pairs_by_task[static_cast<size_t>(pair.task_index)].push_back(pair_id);
+  pool->pairs_by_worker[static_cast<size_t>(pair.worker_index)].push_back(
+      pair_id);
+}
+
+/// The sharded parallel builder. Produces a pool byte-identical to the
+/// sequential path below by splitting the work into pure per-worker
+/// pieces and keeping every order-sensitive step on one thread:
+///   1. (parallel, per region shard) reachability scans fill per-worker
+///      candidate lists — each shard queries its own border-banded task
+///      index, or the caller's prebuilt index when one exists;
+///   2. (sequential) PairStatistics replays the current-current samples
+///      worker-major, the exact accumulation order of the scanning
+///      constructor;
+///   3. (parallel) pairs materialize into their final slots, positioned
+///      by a prefix sum over per-worker candidate counts — the same
+///      worker-major layout the sequential loop emits;
+///   4. (sequential) adjacency lists fill in ascending pair-id order.
+PairPool BuildPairPoolSharded(const ProblemInstance& instance,
+                              const PairPoolOptions& options,
+                              const SpatialIndex* prebuilt, size_t num_workers,
+                              size_t num_tasks, double max_deadline,
+                              bool has_predicted, ThreadPool* pool) {
+  const QualityModel& model = *instance.quality_model();
+  const ShardingPlan plan =
+      ShardByRegion(instance, num_workers, num_tasks, max_deadline,
+                    /*with_task_entries=*/prebuilt == nullptr);
+  const size_t num_shards = plan.shards.size();
+
+  // Per-shard task indexes only when no prebuilt index exists: the
+  // simulator's TaskIndexCache is maintained incrementally precisely so
+  // pair generation never re-buckets tasks, and its view is safe for
+  // concurrent queries.
+  std::vector<std::unique_ptr<SpatialIndex>> shard_indexes(
+      prebuilt == nullptr ? num_shards : 0);
+
+  // Per-worker candidate lists, plus — when the statistics are needed —
+  // each current worker's (current task, score) samples, extracted in
+  // the same parallel pass so the sequential stats phase below only
+  // replays them.
+  std::vector<std::vector<Candidate>> candidates(num_workers);
+  std::vector<std::vector<std::pair<int32_t, double>>> samples(
+      has_predicted ? instance.num_current_workers() : 0);
+  pool->ParallelFor(static_cast<int64_t>(num_shards), [&](int64_t s) {
+    const RegionShard& shard = plan.shards[static_cast<size_t>(s)];
+    const SpatialIndex* index = prebuilt;
+    if (index == nullptr) {
+      auto owned = CreateSpatialIndex(
+          ResolveBackend(options.backend, shard.worker_indices.size(),
+                         shard.task_entries.size()));
+      owned->BulkLoad(shard.task_entries);
+      shard_indexes[static_cast<size_t>(s)] = std::move(owned);
+      index = shard_indexes[static_cast<size_t>(s)].get();
+    }
+    std::vector<std::pair<int32_t, double>> scratch;
+    for (const int32_t wi : shard.worker_indices) {
+      const size_t i = static_cast<size_t>(wi);
+      CollectCandidates(instance, model, *index, i, max_deadline, num_tasks,
+                        &scratch, &candidates[i]);
+      if (i >= samples.size()) continue;  // predicted, or no stats needed
+      for (const Candidate& c : candidates[i]) {
+        if (static_cast<size_t>(c.task) >= instance.num_current_tasks()) {
+          continue;
+        }
+        samples[i].emplace_back(c.task, c.score);
+      }
+    }
+  });
+
+  std::unique_ptr<PairStatistics> stats;
+  if (has_predicted) {
+    stats = std::make_unique<PairStatistics>(instance, samples);
+  }
+
+  std::vector<size_t> offsets(num_workers + 1, 0);
+  for (size_t i = 0; i < num_workers; ++i) {
+    offsets[i + 1] = offsets[i] + candidates[i].size();
+  }
+
+  PairPool result;
+  result.pairs_by_task.resize(instance.tasks().size());
+  result.pairs_by_worker.resize(instance.workers().size());
+  result.pairs.resize(offsets[num_workers]);
+  // Unlike pass 1 this has no shard affinity, so it fans out per worker:
+  // on skewed (clustered) instances one region can own most of the
+  // candidates, and per-shard items would serialize exactly the heavy
+  // part.
+  pool->ParallelFor(static_cast<int64_t>(num_workers), [&](int64_t wi) {
+    const size_t i = static_cast<size_t>(wi);
+    size_t at = offsets[i];
+    for (const Candidate& c : candidates[i]) {
+      result.pairs[at++] = MakePair(instance, stats.get(), i, c);
+    }
+  });
+
+  for (size_t id = 0; id < result.pairs.size(); ++id) {
+    const CandidatePair& pair = result.pairs[id];
+    result.pairs_by_task[static_cast<size_t>(pair.task_index)].push_back(
+        static_cast<int32_t>(id));
+    result.pairs_by_worker[static_cast<size_t>(pair.worker_index)].push_back(
+        static_cast<int32_t>(id));
+  }
+  return result;
+}
+
+}  // namespace
 
 double PairPool::AvgWorkersPerTask() const {
   int64_t tasks_with_pairs = 0;
@@ -30,37 +208,23 @@ PairPool BuildPairPool(const ProblemInstance& instance,
   const QualityModel* model = instance.quality_model();
   MQA_CHECK(model != nullptr) << "instance lacks a quality model";
 
-  PairPool pool;
   const size_t num_workers = options.include_predicted
                                  ? instance.workers().size()
                                  : instance.num_current_workers();
   const size_t num_tasks = options.include_predicted
                                ? instance.tasks().size()
                                : instance.num_current_tasks();
-  pool.pairs_by_task.resize(instance.tasks().size());
-  pool.pairs_by_worker.resize(instance.workers().size());
 
-  // Task index: caller-provided (covering *all* tasks; ids past num_tasks
-  // are filtered below) or built here over the participating tasks.
-  const SpatialIndex* index =
+  // Caller-provided index (covering *all* tasks; ids past num_tasks are
+  // filtered in the scan), or null when one must be built — per shard on
+  // the parallel path, once below on the sequential path.
+  const SpatialIndex* prebuilt =
       options.task_index != nullptr ? options.task_index
                                     : instance.task_index();
-  std::unique_ptr<SpatialIndex> owned;
-  if (index != nullptr) {
-    MQA_CHECK(index->size() == instance.tasks().size())
-        << "task index covers " << index->size() << " entries but the "
+  if (prebuilt != nullptr) {
+    MQA_CHECK(prebuilt->size() == instance.tasks().size())
+        << "task index covers " << prebuilt->size() << " entries but the "
         << "instance has " << instance.tasks().size() << " tasks";
-  } else {
-    owned = CreateSpatialIndex(
-        ResolveBackend(options.backend, num_workers, num_tasks));
-    std::vector<IndexEntry> entries;
-    entries.reserve(num_tasks);
-    for (size_t j = 0; j < num_tasks; ++j) {
-      entries.push_back(
-          {static_cast<int64_t>(j), instance.tasks()[j].location});
-    }
-    owned->BulkLoad(entries);
-    index = owned.get();
   }
 
   // The radius bound uses the largest candidate deadline; CanReach then
@@ -70,53 +234,57 @@ PairPool BuildPairPool(const ProblemInstance& instance,
     max_deadline = std::max(max_deadline, instance.tasks()[j].deadline);
   }
 
-  // Sample statistics of current pairs drive the predicted-pair quality
-  // distributions; only needed when predicted entities participate. The
-  // scan inside shares this task index so it stays sublinear too.
   const bool has_predicted =
       options.include_predicted && (instance.num_predicted_workers() > 0 ||
                                     instance.num_predicted_tasks() > 0);
+
+  ThreadPool* thread_pool = options.thread_pool != nullptr
+                                ? options.thread_pool
+                                : instance.thread_pool();
+  if (thread_pool != nullptr && thread_pool->num_threads() > 1 &&
+      num_workers >= kMinShardableWorkers) {
+    return BuildPairPoolSharded(instance, options, prebuilt, num_workers,
+                                num_tasks, max_deadline, has_predicted,
+                                thread_pool);
+  }
+
+  PairPool pool;
+  pool.pairs_by_task.resize(instance.tasks().size());
+  pool.pairs_by_worker.resize(instance.workers().size());
+
+  const SpatialIndex* index = prebuilt;
+  std::unique_ptr<SpatialIndex> owned;
+  if (index == nullptr) {
+    owned = CreateSpatialIndex(
+        ResolveBackend(options.backend, num_workers, num_tasks));
+    std::vector<IndexEntry> entries;
+    entries.reserve(num_tasks);
+    for (size_t j = 0; j < num_tasks; ++j) {
+      entries.push_back({static_cast<int64_t>(j),
+                         instance.tasks()[j].location,
+                         instance.tasks()[j].deadline});
+    }
+    owned->BulkLoad(entries);
+    index = owned.get();
+  }
+
+  // Sample statistics of current pairs drive the predicted-pair quality
+  // distributions; only needed when predicted entities participate. The
+  // scan inside shares this task index so it stays sublinear too.
   std::unique_ptr<PairStatistics> stats;
   if (has_predicted) {
     stats = std::make_unique<PairStatistics>(instance, index, max_deadline);
   }
 
   std::vector<std::pair<int32_t, double>> scratch;
+  std::vector<Candidate> worker_candidates;
   for (size_t i = 0; i < num_workers; ++i) {
-    const Worker& w = instance.workers()[i];
-    ForEachReachableCandidate(*index, w, max_deadline, num_tasks, &scratch,
-                              [&](int32_t jj, double min_dist) {
-      const size_t j = static_cast<size_t>(jj);
-      const Task& t = instance.tasks()[j];
-      if (!instance.CanReachAtDistance(w, t, min_dist)) return;
-
-      CandidatePair pair;
-      pair.worker_index = static_cast<int32_t>(i);
-      pair.task_index = jj;
-      pair.involves_predicted = w.predicted || t.predicted;
-      pair.cost = DistanceBetween(w.location, t.location)
-                      .AffineTransform(instance.unit_price(), 0.0);
-
-      if (!pair.involves_predicted) {
-        pair.quality = Uncertain::Fixed(model->Score(w, t));
-        pair.existence = 1.0;
-      } else if (w.predicted && !t.predicted) {
-        pair.quality = stats->QualityCase1(pair.task_index);
-        pair.existence = stats->ExistenceCase1(pair.task_index);
-      } else if (!w.predicted && t.predicted) {
-        pair.quality = stats->QualityCase2(pair.worker_index);
-        pair.existence = stats->ExistenceCase2(pair.worker_index);
-      } else {
-        pair.quality = stats->QualityCase3();
-        pair.existence = stats->ExistenceCase3();
-      }
-      pair.FinalizeEffectiveQuality();
-
-      const int32_t pair_id = static_cast<int32_t>(pool.pairs.size());
-      pool.pairs.push_back(pair);
-      pool.pairs_by_task[j].push_back(pair_id);
-      pool.pairs_by_worker[i].push_back(pair_id);
-    });
+    worker_candidates.clear();
+    CollectCandidates(instance, *model, *index, i, max_deadline, num_tasks,
+                      &scratch, &worker_candidates);
+    for (const Candidate& c : worker_candidates) {
+      AppendPair(&pool, MakePair(instance, stats.get(), i, c));
+    }
   }
   return pool;
 }

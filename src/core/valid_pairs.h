@@ -10,6 +10,8 @@
 
 namespace mqa {
 
+class ThreadPool;
+
 /// All valid worker-and-task pairs of a ProblemInstance (the list L of the
 /// greedy algorithm, paper Fig. 5 line 2), with per-task and per-worker
 /// adjacency for decomposition and merge.
@@ -43,6 +45,14 @@ struct PairPoolOptions {
   /// and the instance's task_index(). The simulator threads its
   /// TaskIndexCache through ProblemInstance::task_index instead.
   const SpatialIndex* task_index = nullptr;
+
+  /// Thread pool for the sharded parallel builder (and, in the
+  /// divide-and-conquer assigner, for fanning out subproblem solves).
+  /// Precedence mirrors task_index: this field, then the instance's
+  /// thread_pool(). Null (the default) or a 1-thread pool selects the
+  /// sequential path; the parallel path produces a byte-identical pool
+  /// (see src/exec/README.md for the determinism contract).
+  ThreadPool* thread_pool = nullptr;
 };
 
 /// Enumerates valid pairs and attaches cost/quality/existence statistics:

@@ -1,0 +1,11 @@
+#include "exec/parallel_runner.h"
+
+namespace mqa {
+
+ParallelRunner::ParallelRunner(int num_threads)
+    : pool_(num_threads > 1 ? std::make_unique<ThreadPool>(num_threads)
+                            : nullptr) {}
+
+ParallelRunner::~ParallelRunner() = default;
+
+}  // namespace mqa

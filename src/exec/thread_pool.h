@@ -1,0 +1,66 @@
+#ifndef MQA_EXEC_THREAD_POOL_H_
+#define MQA_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mqa {
+
+/// A fixed-size pool of worker threads with a shared task queue, built on
+/// the standard library only (no external deps).
+///
+/// `num_threads` counts the *calling* thread: a pool of k spawns k-1
+/// workers and ParallelFor always runs items on the caller too, so a pool
+/// of 1 spawns nothing and degenerates to a plain sequential loop. This
+/// makes `num_threads` the total parallelism knob surfaced through
+/// AssignerOptions / SimulatorConfig.
+///
+/// ParallelFor is safe to call from *inside* a pool task (the
+/// divide-and-conquer recursion nests them): the calling thread drains
+/// items itself until none are left, so completion never depends on a
+/// free worker. Work items must not throw (the library reports fatal
+/// errors through MQA_CHECK, which aborts).
+///
+/// Thread-safety: ParallelFor may be called concurrently from multiple
+/// threads; the queue is internally synchronized. Destruction joins all
+/// workers after the queue drains.
+class ThreadPool {
+ public:
+  /// Spawns max(0, num_threads - 1) worker threads.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread), always >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing items over the
+  /// workers and the calling thread; returns when every item completed.
+  /// Items are claimed dynamically (an atomic cursor), so the *schedule*
+  /// is nondeterministic — callers that need determinism must write
+  /// results into slot i and do any order-dependent reduction afterwards
+  /// (see src/exec/README.md).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_EXEC_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "index/brute_force_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace mqa {
@@ -8,8 +10,8 @@ void BruteForceIndex::BulkLoad(const std::vector<IndexEntry>& entries) {
   entries_ = entries;
 }
 
-void BruteForceIndex::Insert(int64_t id, const BBox& box) {
-  entries_.push_back({id, box});
+void BruteForceIndex::Insert(const IndexEntry& entry) {
+  entries_.push_back(entry);
 }
 
 bool BruteForceIndex::Erase(int64_t id, const BBox& box) {
@@ -31,6 +33,22 @@ void BruteForceIndex::QueryRadius(const BBox& query, double radius,
   for (const IndexEntry& e : entries_) {
     const double min_dist = query.MinDistance(e.box);
     if (min_dist <= radius) visit(e.id, e.box, min_dist);
+  }
+}
+
+void BruteForceIndex::QueryReachable(const BBox& query, double velocity,
+                                     double max_deadline,
+                                     const RadiusVisitor& visit) const {
+  // Negative velocity degrades to 0 (only touching entries qualify), and
+  // the 0 * infinite-deadline product is NaN, which fails the skip test
+  // below — exactly the conservative no-prune behavior we want.
+  velocity = std::max(velocity, 0.0);
+  const double radius = std::max(0.0, velocity * max_deadline);
+  for (const IndexEntry& e : entries_) {
+    const double min_dist = query.MinDistance(e.box);
+    if (min_dist > radius) continue;
+    if (min_dist > velocity * e.deadline) continue;  // expires too soon
+    visit(e.id, e.box, min_dist);
   }
 }
 

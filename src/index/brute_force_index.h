@@ -11,15 +11,21 @@ namespace mqa {
 /// candidate enumeration expressed through the index interface — used for
 /// tiny instances (where it beats the grid's setup cost) and as the
 /// semantics oracle the GridIndex is cross-checked against.
-class BruteForceIndex : public SpatialIndex {
+///
+/// Concurrency: queries are const and touch no mutable state — safe to
+/// run from any number of threads as long as no mutation is in flight.
+class BruteForceIndex final : public SpatialIndex {
  public:
   BruteForceIndex() = default;
 
   void BulkLoad(const std::vector<IndexEntry>& entries) override;
-  void Insert(int64_t id, const BBox& box) override;
+  using SpatialIndex::Insert;
+  void Insert(const IndexEntry& entry) override;
   bool Erase(int64_t id, const BBox& box) override;
   void QueryRadius(const BBox& query, double radius,
                    const RadiusVisitor& visit) const override;
+  void QueryReachable(const BBox& query, double velocity, double max_deadline,
+                      const RadiusVisitor& visit) const override;
   void QueryRect(const BBox& rect, const RectVisitor& visit) const override;
   size_t size() const override { return entries_.size(); }
   const char* name() const override { return "BRUTE"; }

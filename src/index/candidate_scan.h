@@ -12,14 +12,18 @@
 namespace mqa {
 
 /// The candidate-task scan shared by BuildPairPool and PairStatistics:
-/// one radius query with ReachRadius(worker, max_deadline) — a superset
-/// of the CanReach reachability bound — dropping entry ids >= `id_limit`
+/// one deadline-aware radius query (QueryReachable with the worker's
+/// velocity, bounded by ReachRadius(worker, max_deadline) — a superset of
+/// the CanReach reachability bound) dropping entry ids >= `id_limit`
 /// (an external index may cover more tasks than participate), then
 /// visiting survivors as fn(task_index, min_dist) in ascending id order.
 /// The sort keeps pools and statistics bit-identical across backends and
 /// matches the seed's double-loop accumulation order; callers apply the
 /// exact ProblemInstance::CanReachAtDistance test with the min-distance
-/// handed through. `scratch` avoids per-worker reallocation.
+/// handed through — QueryReachable only sheds candidates that test would
+/// reject anyway (entries whose own deadline is too short for this
+/// velocity, pruned per cell and per entry). `scratch` avoids per-worker
+/// reallocation.
 template <typename Fn>
 void ForEachReachableCandidate(
     const SpatialIndex& index, const Worker& worker, double max_deadline,
@@ -27,13 +31,13 @@ void ForEachReachableCandidate(
     Fn&& fn) {
   if (worker.velocity <= 0.0) return;  // CanReach rejects every task
   scratch->clear();
-  index.QueryRadius(worker.location, ReachRadius(worker, max_deadline),
-                    [&](int64_t id, const BBox&, double min_dist) {
-                      if (static_cast<size_t>(id) < id_limit) {
-                        scratch->emplace_back(static_cast<int32_t>(id),
-                                              min_dist);
-                      }
-                    });
+  index.QueryReachable(worker.location, worker.velocity, max_deadline,
+                       [&](int64_t id, const BBox&, double min_dist) {
+                         if (static_cast<size_t>(id) < id_limit) {
+                           scratch->emplace_back(static_cast<int32_t>(id),
+                                                 min_dist);
+                         }
+                       });
   std::sort(scratch->begin(), scratch->end());
   for (const auto& [id, min_dist] : *scratch) fn(id, min_dist);
 }

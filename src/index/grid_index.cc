@@ -17,6 +17,11 @@ int AutoSide(size_t n) {
   return std::clamp(side, 1, kMaxSide);
 }
 
+BBox Union(const BBox& a, const BBox& b) {
+  return BBox({std::min(a.lo().x, b.lo().x), std::min(a.lo().y, b.lo().y)},
+              {std::max(a.hi().x, b.hi().x), std::max(a.hi().y, b.hi().y)});
+}
+
 }  // namespace
 
 GridIndex::GridIndex(int cells_per_side)
@@ -37,23 +42,29 @@ int GridIndex::CellCoord(double v) const {
   return std::min(static_cast<int>(clamped * inv_cell_), side_ - 1);
 }
 
-GridIndex::Entry GridIndex::MakeEntry(int64_t id, const BBox& box) const {
+GridIndex::Entry GridIndex::MakeEntry(const IndexEntry& entry) const {
   Entry e;
-  e.id = id;
-  e.box = box;
-  e.cx0 = CellCoord(box.lo().x);
-  e.cx1 = CellCoord(box.hi().x);
-  e.cy0 = CellCoord(box.lo().y);
-  e.cy1 = CellCoord(box.hi().y);
+  e.id = entry.id;
+  e.box = entry.box;
+  e.deadline = entry.deadline;
+  e.cx0 = CellCoord(entry.box.lo().x);
+  e.cx1 = CellCoord(entry.box.hi().x);
+  e.cy0 = CellCoord(entry.box.lo().y);
+  e.cy1 = CellCoord(entry.box.hi().y);
   return e;
 }
 
 void GridIndex::InsertEntry(const Entry& e) {
   for (int32_t cy = e.cy0; cy <= e.cy1; ++cy) {
     for (int32_t cx = e.cx0; cx <= e.cx1; ++cx) {
-      cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
-             static_cast<size_t>(cx)]
-          .push_back(e);
+      Cell& cell = cells_[static_cast<size_t>(cy) *
+                              static_cast<size_t>(side_) +
+                          static_cast<size_t>(cx)];
+      cell.bounds = cell.entries.empty() ? e.box : Union(cell.bounds, e.box);
+      cell.max_deadline = cell.entries.empty()
+                              ? e.deadline
+                              : std::max(cell.max_deadline, e.deadline);
+      cell.entries.push_back(e);
     }
   }
 }
@@ -63,8 +74,9 @@ std::vector<IndexEntry> GridIndex::Snapshot() const {
   out.reserve(size_);
   // The full-space range makes every entry's home cell its own first
   // cell, so this enumerates each entry exactly once.
-  ForEachInRange(BBox({0.0, 0.0}, {1.0, 1.0}),
-                 [&](const Entry& e) { out.push_back({e.id, e.box}); });
+  ForEachInRange(
+      BBox({0.0, 0.0}, {1.0, 1.0}), [](const Cell&) { return true; },
+      [&](const Entry& e) { out.push_back({e.id, e.box, e.deadline}); });
   return out;
 }
 
@@ -73,7 +85,7 @@ void GridIndex::Rebuild(size_t expected) {
   side_ = AutoSide(expected);
   inv_cell_ = static_cast<double>(side_);
   cells_.assign(static_cast<size_t>(side_) * static_cast<size_t>(side_), {});
-  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e.id, e.box));
+  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e));
   built_size_ = size_;
 }
 
@@ -83,13 +95,13 @@ void GridIndex::BulkLoad(const std::vector<IndexEntry>& entries) {
     inv_cell_ = static_cast<double>(side_);
   }
   cells_.assign(static_cast<size_t>(side_) * static_cast<size_t>(side_), {});
-  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e.id, e.box));
+  for (const IndexEntry& e : entries) InsertEntry(MakeEntry(e));
   size_ = entries.size();
   built_size_ = size_;
 }
 
-void GridIndex::Insert(int64_t id, const BBox& box) {
-  InsertEntry(MakeEntry(id, box));
+void GridIndex::Insert(const IndexEntry& entry) {
+  InsertEntry(MakeEntry(entry));
   ++size_;
   if (auto_resolution_ && size_ > 4 * std::max<size_t>(built_size_, 16)) {
     Rebuild(size_);
@@ -97,13 +109,17 @@ void GridIndex::Insert(int64_t id, const BBox& box) {
 }
 
 bool GridIndex::Erase(int64_t id, const BBox& box) {
-  const Entry probe = MakeEntry(id, box);
+  const Entry probe = MakeEntry({id, box});
   bool found = false;
   for (int32_t cy = probe.cy0; cy <= probe.cy1; ++cy) {
     for (int32_t cx = probe.cx0; cx <= probe.cx1; ++cx) {
-      auto& bucket =
-          cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
-                 static_cast<size_t>(cx)];
+      // The cell's max_deadline/bounds are left untouched: they remain
+      // valid upper bounds (pruning is merely less sharp until the next
+      // rebuild recomputes them exactly).
+      auto& bucket = cells_[static_cast<size_t>(cy) *
+                                static_cast<size_t>(side_) +
+                            static_cast<size_t>(cx)]
+                         .entries;
       for (size_t k = 0; k < bucket.size(); ++k) {
         if (bucket[k].id == id && bucket[k].box == box) {
           bucket[k] = bucket.back();
@@ -129,16 +145,46 @@ bool GridIndex::Erase(int64_t id, const BBox& box) {
 void GridIndex::QueryRadius(const BBox& query, double radius,
                             const RadiusVisitor& visit) const {
   MQA_CHECK(radius >= 0.0) << "negative query radius " << radius;
-  ForEachInRange(query.Expanded(radius), [&](const Entry& e) {
-    const double min_dist = query.MinDistance(e.box);
-    if (min_dist <= radius) visit(e.id, e.box, min_dist);
-  });
+  ForEachInRange(query.Expanded(radius), [](const Cell&) { return true; },
+                 [&](const Entry& e) {
+                   const double min_dist = query.MinDistance(e.box);
+                   if (min_dist <= radius) visit(e.id, e.box, min_dist);
+                 });
+}
+
+void GridIndex::QueryReachable(const BBox& query, double velocity,
+                               double max_deadline,
+                               const RadiusVisitor& visit) const {
+  velocity = std::max(velocity, 0.0);
+  const double radius = std::max(0.0, velocity * max_deadline);
+  // Cell pruning: every entry bucketed in a cell satisfies
+  //   min_dist(query, e.box) >= min_dist(query, cell.bounds) and
+  //   e.deadline <= cell.max_deadline,
+  // so `velocity * cell.max_deadline < min_dist(query, cell.bounds)`
+  // proves every one of them unreachable — including entries *homed*
+  // there whose boxes extend into other cells, which is what makes
+  // skipping the bucket sound under the home-cell dedup rule. NaN
+  // products (velocity 0 with an infinite deadline) fail both strict
+  // comparisons and conservatively keep the cell/entry.
+  ForEachInRange(
+      query.Expanded(radius),
+      [&](const Cell& cell) {
+        return !(velocity * cell.max_deadline <
+                 query.MinDistance(cell.bounds));
+      },
+      [&](const Entry& e) {
+        const double min_dist = query.MinDistance(e.box);
+        if (min_dist > radius) return;
+        if (min_dist > velocity * e.deadline) return;  // expires too soon
+        visit(e.id, e.box, min_dist);
+      });
 }
 
 void GridIndex::QueryRect(const BBox& rect, const RectVisitor& visit) const {
-  ForEachInRange(rect, [&](const Entry& e) {
-    if (rect.Intersects(e.box)) visit(e.id, e.box);
-  });
+  ForEachInRange(rect, [](const Cell&) { return true; },
+                 [&](const Entry& e) {
+                   if (rect.Intersects(e.box)) visit(e.id, e.box);
+                 });
 }
 
 }  // namespace mqa

@@ -21,10 +21,21 @@ namespace mqa {
 /// scan order, of the intersection of its cell range and the query's), so
 /// queries need no per-call dedup set.
 ///
+/// Each cell additionally tracks the max deadline and the union bounding
+/// box of its entries, so QueryReachable can discard a whole cell when
+/// `velocity * cell_max_deadline < MinDistance(query, cell_bounds)` —
+/// every entry bucketed there would expire before the worker arrives.
+/// Both maxima are upper bounds: Erase leaves them stale (still valid,
+/// just less sharp) and BulkLoad/Rebuild recompute them exactly.
+///
 /// Coordinates outside [0,1] are legal: they bucket into the boundary
 /// cells, and exact distance/intersection tests keep query results
 /// correct regardless of clamping.
-class GridIndex : public SpatialIndex {
+///
+/// Concurrency: queries are const and touch no mutable state — safe from
+/// any number of threads concurrently, provided no mutation is in flight
+/// (see src/index/README.md).
+class GridIndex final : public SpatialIndex {
  public:
   /// `cells_per_side` fixes the resolution; 0 (auto) picks ~sqrt(n) at
   /// BulkLoad time and rebalances after incremental growth (see Insert).
@@ -36,11 +47,14 @@ class GridIndex : public SpatialIndex {
   /// shrinking (Erase) the entry count 4x past the last (re)build
   /// triggers an O(n) rebucketing so buckets stay near-constant size
   /// under incremental churn.
-  void Insert(int64_t id, const BBox& box) override;
+  using SpatialIndex::Insert;
+  void Insert(const IndexEntry& entry) override;
   bool Erase(int64_t id, const BBox& box) override;
 
   void QueryRadius(const BBox& query, double radius,
                    const RadiusVisitor& visit) const override;
+  void QueryReachable(const BBox& query, double velocity, double max_deadline,
+                      const RadiusVisitor& visit) const override;
   void QueryRect(const BBox& rect, const RectVisitor& visit) const override;
 
   size_t size() const override { return size_; }
@@ -54,29 +68,44 @@ class GridIndex : public SpatialIndex {
   struct Entry {
     int64_t id;
     BBox box;
+    double deadline;
     int32_t cx0, cx1, cy0, cy1;
   };
 
-  int CellCoord(double v) const;
-  Entry MakeEntry(int64_t id, const BBox& box) const;
+  // One grid cell: its entries plus the pruning maxima QueryReachable
+  // uses. `max_deadline` and `bounds` cover at least the current entries
+  // (exactly after BulkLoad/Rebuild; possibly stale after Erase).
+  struct Cell {
+    std::vector<Entry> entries;
+    double max_deadline = 0.0;
+    BBox bounds;  // meaningful only when !entries.empty()
+  };
 
-  // Walks the cells overlapping `range` and hands each entry to `fn`
-  // exactly once: the home-cell rule skips an entry except in the first
-  // cell (in scan order) of the intersection of its cell range and the
-  // query's. Shared by QueryRadius and QueryRect so the dedup subtlety
-  // lives in one place.
-  template <typename Fn>
-  void ForEachInRange(const BBox& range, Fn&& fn) const {
+  int CellCoord(double v) const;
+  Entry MakeEntry(const IndexEntry& entry) const;
+
+  // Walks the cells overlapping `range`; `cell_fn(cell)` returns false to
+  // skip (prune) a cell wholesale, and each surviving cell's entries are
+  // handed to `fn` exactly once via the home-cell rule (an entry is
+  // skipped except in the first cell, in scan order, of the intersection
+  // of its cell range and the query's). A pruned cell drops exactly the
+  // entries whose home cell it is, so pruning is sound only when the
+  // predicate rejects every entry *bucketed* in the cell (which the
+  // deadline/bounds maxima guarantee). Shared by all queries so the
+  // dedup subtlety lives in one place.
+  template <typename CellFn, typename Fn>
+  void ForEachInRange(const BBox& range, CellFn&& cell_fn, Fn&& fn) const {
     const int32_t qx0 = CellCoord(range.lo().x);
     const int32_t qx1 = CellCoord(range.hi().x);
     const int32_t qy0 = CellCoord(range.lo().y);
     const int32_t qy1 = CellCoord(range.hi().y);
     for (int32_t cy = qy0; cy <= qy1; ++cy) {
       for (int32_t cx = qx0; cx <= qx1; ++cx) {
-        const auto& bucket =
+        const Cell& cell =
             cells_[static_cast<size_t>(cy) * static_cast<size_t>(side_) +
                    static_cast<size_t>(cx)];
-        for (const Entry& e : bucket) {
+        if (cell.entries.empty() || !cell_fn(cell)) continue;
+        for (const Entry& e : cell.entries) {
           if (cx != std::max(e.cx0, qx0) || cy != std::max(e.cy0, qy0)) {
             continue;
           }
@@ -97,7 +126,7 @@ class GridIndex : public SpatialIndex {
   size_t size_ = 0;
   // Entry count at the last (re)build; growth beyond 4x triggers Rebuild.
   size_t built_size_ = 0;
-  std::vector<std::vector<Entry>> cells_;
+  std::vector<Cell> cells_;
 };
 
 }  // namespace mqa

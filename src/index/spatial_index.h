@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -33,6 +34,14 @@ const char* IndexBackendToString(IndexBackend backend);
 struct IndexEntry {
   int64_t id = -1;
   BBox box;
+
+  /// Upper bound on the entity's remaining deadline, used by
+  /// QueryReachable to prune entries (and, in GridIndex, whole cells) a
+  /// worker cannot reach in time. Infinity — the default — disables
+  /// pruning for the entry; a *stale* (too large) value only weakens
+  /// pruning, never correctness, which is what lets TaskIndexCache keep
+  /// carried-over tasks bucketed while their deadlines tick down.
+  double deadline = std::numeric_limits<double>::infinity();
 };
 
 /// Non-owning callable references used by the query visitors; avoid a
@@ -86,6 +95,13 @@ class RectVisitor {
 ///
 /// Visit order is backend-specific; callers that need determinism across
 /// backends must sort the visited ids.
+///
+/// Thread-safety: the query methods (everything const) read shared state
+/// without mutation, so any number of threads may query one index
+/// concurrently — the parallel pair-generation path relies on this. The
+/// mutating methods (BulkLoad/Insert/Erase) require exclusive access: no
+/// concurrent mutation, no queries concurrent with a mutation. See the
+/// "Concurrency" section of src/index/README.md.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -94,10 +110,14 @@ class SpatialIndex {
   virtual void BulkLoad(const std::vector<IndexEntry>& entries) = 0;
 
   /// Adds one entry.
-  virtual void Insert(int64_t id, const BBox& box) = 0;
+  virtual void Insert(const IndexEntry& entry) = 0;
+
+  /// Insert with the default (infinite) deadline.
+  void Insert(int64_t id, const BBox& box) { Insert(IndexEntry{id, box}); }
 
   /// Removes the entry previously inserted as (id, box). Returns false
-  /// when no such entry exists. `box` must equal the inserted box.
+  /// when no such entry exists. `box` must equal the inserted box (the
+  /// stored deadline does not participate in matching).
   virtual bool Erase(int64_t id, const BBox& box) = 0;
 
   /// Visits every entry whose box is within Euclidean min-distance
@@ -105,6 +125,20 @@ class SpatialIndex {
   /// passing that min-distance along.
   virtual void QueryRadius(const BBox& query, double radius,
                            const RadiusVisitor& visit) const = 0;
+
+  /// Deadline-aware radius query for reachability scans: visits every
+  /// entry with min_dist <= velocity * min(entry.deadline, max_deadline),
+  /// i.e. QueryRadius(query, velocity * max_deadline) minus the entries
+  /// whose *own* deadline already rules them out. The built-in backends
+  /// implement exactly that set (GridIndex prunes whole cells first by
+  /// velocity * cell_max_deadline < min-distance-to-cell); the base
+  /// implementation is the plain radius superset for backends that do not
+  /// store deadlines. Callers must therefore treat the visited set as
+  /// "every possibly-reachable entry, maybe a few unreachable ones" and
+  /// keep applying their exact filter.
+  virtual void QueryReachable(const BBox& query, double velocity,
+                              double max_deadline,
+                              const RadiusVisitor& visit) const;
 
   /// Visits every entry whose box intersects `rect` (boundary-inclusive).
   virtual void QueryRect(const BBox& rect, const RectVisitor& visit) const = 0;

@@ -7,7 +7,10 @@
 namespace mqa {
 
 /// Read-only adapter translating internal slots to instance task indices.
-class TaskIndexCache::View : public SpatialIndex {
+/// Queries are const pass-throughs to the underlying index, so the view
+/// inherits its concurrency guarantee: any number of threads may query
+/// one view concurrently between BeginInstance calls.
+class TaskIndexCache::View final : public SpatialIndex {
  public:
   void Reset(const SpatialIndex* index, const std::vector<int32_t>* slot_to_index,
              size_t num_tasks) {
@@ -19,7 +22,8 @@ class TaskIndexCache::View : public SpatialIndex {
   void BulkLoad(const std::vector<IndexEntry>&) override {
     MQA_CHECK(false) << "TaskIndexCache view is read-only";
   }
-  void Insert(int64_t, const BBox&) override {
+  using SpatialIndex::Insert;
+  void Insert(const IndexEntry&) override {
     MQA_CHECK(false) << "TaskIndexCache view is read-only";
   }
   bool Erase(int64_t, const BBox&) override {
@@ -31,6 +35,15 @@ class TaskIndexCache::View : public SpatialIndex {
                    const RadiusVisitor& visit) const override {
     index_->QueryRadius(
         query, radius, [&](int64_t slot, const BBox& box, double min_dist) {
+          visit((*slot_to_index_)[static_cast<size_t>(slot)], box, min_dist);
+        });
+  }
+
+  void QueryReachable(const BBox& query, double velocity, double max_deadline,
+                      const RadiusVisitor& visit) const override {
+    index_->QueryReachable(
+        query, velocity, max_deadline,
+        [&](int64_t slot, const BBox& box, double min_dist) {
           visit((*slot_to_index_)[static_cast<size_t>(slot)], box, min_dist);
         });
   }
@@ -81,7 +94,8 @@ void TaskIndexCache::BeginInstance(const std::vector<Task>& tasks) {
     entries.reserve(tasks.size());
     for (size_t j = 0; j < tasks.size(); ++j) {
       slot_boxes_.push_back(tasks[j].location);
-      entries.push_back({static_cast<int64_t>(j), tasks[j].location});
+      entries.push_back(
+          {static_cast<int64_t>(j), tasks[j].location, tasks[j].deadline});
       live_.emplace(tasks[j].id, static_cast<int32_t>(j));
       slot_to_index_[j] = static_cast<int32_t>(j);
     }
@@ -112,7 +126,11 @@ void TaskIndexCache::BeginInstance(const std::vector<Task>& tasks) {
     }
     if (slot < 0) {
       slot = AllocateSlot(t.location);
-      index_->Insert(slot, t.location);
+      // Carried-over tasks keep the deadline they were inserted with even
+      // as their remaining deadline ticks down each instance — a stale
+      // *upper bound*, which QueryReachable's pruning tolerates by
+      // design (it only ever makes pruning less sharp, never wrong).
+      index_->Insert({slot, t.location, t.deadline});
       if (static_cast<size_t>(slot) < claimed.size()) {
         claimed[static_cast<size_t>(slot)] = 1;  // reused a freed slot
       }

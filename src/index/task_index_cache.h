@@ -26,6 +26,18 @@ namespace mqa {
 /// read-only SpatialIndex whose ids are positions in the task vector most
 /// recently passed to BeginInstance — exactly the id convention
 /// ProblemInstance::task_index expects.
+///
+/// Deadlines: entries are inserted with the task's deadline at first
+/// sight. A carried-over task's remaining deadline shrinks each instance
+/// while its cached entry keeps the original value — a stale *upper
+/// bound*, which QueryReachable pruning tolerates by design (stale maxima
+/// only weaken pruning; the exact CanReach filter downstream stays
+/// authoritative).
+///
+/// Concurrency: BeginInstance mutates the cache and must be exclusive;
+/// between BeginInstance calls, view() queries are const pass-throughs
+/// and safe from any number of threads concurrently (the parallel pair
+/// builder queries one view from every pool thread).
 class TaskIndexCache {
  public:
   /// kAuto resolves to the grid backend (the cache only pays off at the

@@ -13,6 +13,7 @@ namespace mqa {
 
 class QualityModel;
 class SpatialIndex;
+class ThreadPool;
 
 /// One-shot input to an MQA assigner: the current workers W_p and tasks
 /// T_p, plus (optionally) the predicted workers Ŵ_{p+1} and tasks T̂_{p+1},
@@ -62,6 +63,16 @@ class ProblemInstance {
   const SpatialIndex* task_index() const { return task_index_; }
   void set_task_index(const SpatialIndex* index) { task_index_ = index; }
 
+  /// Optional thread pool the assigner may fan work across (sharded pair
+  /// generation, divide-and-conquer subproblems); nullptr — the default —
+  /// selects the sequential code paths. Non-owning, must outlive the
+  /// instance; the simulator points this at the pool of its
+  /// SimulatorConfig::num_threads runner. Thread count never changes
+  /// results (see src/exec/README.md), so carrying the pool on the
+  /// instance is purely an execution hint.
+  ThreadPool* thread_pool() const { return thread_pool_; }
+  void set_thread_pool(ThreadPool* pool) { thread_pool_ = pool; }
+
   /// Unit price C per distance unit (paper Section II-C).
   double unit_price() const { return unit_price_; }
 
@@ -93,6 +104,7 @@ class ProblemInstance {
   size_t num_current_tasks_ = 0;
   const QualityModel* quality_ = nullptr;
   const SpatialIndex* task_index_ = nullptr;
+  ThreadPool* thread_pool_ = nullptr;
   double unit_price_ = 1.0;
   double budget_ = 0.0;
 };

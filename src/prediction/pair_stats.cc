@@ -32,8 +32,9 @@ PairStatistics::PairStatistics(const ProblemInstance& instance,
     entries.reserve(num_current_tasks_);
     max_deadline = 0.0;
     for (size_t j = 0; j < num_current_tasks_; ++j) {
-      entries.push_back(
-          {static_cast<int64_t>(j), instance.tasks()[j].location});
+      entries.push_back({static_cast<int64_t>(j),
+                         instance.tasks()[j].location,
+                         instance.tasks()[j].deadline});
       max_deadline = std::max(max_deadline, instance.tasks()[j].deadline);
     }
     owned->BulkLoad(entries);
@@ -55,6 +56,28 @@ PairStatistics::PairStatistics(const ProblemInstance& instance,
           global_.Add(q);
           ++num_valid_pairs_;
         });
+  }
+}
+
+PairStatistics::PairStatistics(
+    const ProblemInstance& instance,
+    const std::vector<std::vector<std::pair<int32_t, double>>>&
+        samples_by_worker)
+    : num_current_workers_(instance.num_current_workers()),
+      num_current_tasks_(instance.num_current_tasks()),
+      per_task_(instance.num_current_tasks()),
+      per_worker_(instance.num_current_workers()) {
+  MQA_CHECK(samples_by_worker.size() >= num_current_workers_)
+      << "samples must cover every current worker";
+  for (size_t i = 0; i < num_current_workers_; ++i) {
+    for (const auto& [j, q] : samples_by_worker[i]) {
+      MQA_CHECK(j >= 0 && static_cast<size_t>(j) < num_current_tasks_)
+          << "sample task index out of the current range";
+      per_task_[static_cast<size_t>(j)].Add(q);
+      per_worker_[i].Add(q);
+      global_.Add(q);
+      ++num_valid_pairs_;
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 #define MQA_PREDICTION_PAIR_STATS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "index/spatial_index.h"
@@ -40,6 +41,19 @@ class PairStatistics {
   /// BuildPairPool uses this with the index it already has.
   PairStatistics(const ProblemInstance& instance,
                  const SpatialIndex* task_index, double max_deadline);
+
+  /// Builds the same statistics from *precollected* valid current-pair
+  /// samples: samples_by_worker[i] lists (current task index, score q_ij)
+  /// for current worker i, ascending by task index and already
+  /// CanReach-filtered — exactly what the scanning constructors would
+  /// have visited. Accumulation replays worker-major in ascending task
+  /// order, so the resulting statistics are bit-identical to the scans.
+  /// The parallel pair builder collects the samples across threads and
+  /// feeds them here on one thread (see src/exec/README.md).
+  PairStatistics(
+      const ProblemInstance& instance,
+      const std::vector<std::vector<std::pair<int32_t, double>>>&
+          samples_by_worker);
 
   /// Quality distribution for a pair of a predicted worker with current
   /// task index `task_index` (Case 1).

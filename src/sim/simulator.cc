@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/parallel_runner.h"
 #include "index/task_index_cache.h"
 #include "model/assignment.h"
 #include "prediction/grid.h"
@@ -46,6 +47,11 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
   // Without reuse it is recreated below, once per instance.
   auto task_index_cache =
       std::make_unique<TaskIndexCache>(config_.index_backend);
+
+  // Pool shared by all instances of the run (threads spin up once); the
+  // assigner sees it through ProblemInstance::thread_pool, like the task
+  // index. Sequential configs carry a null pool.
+  ParallelRunner runner(config_.num_threads);
 
   std::vector<Worker> available_workers;
   std::vector<Task> available_tasks;
@@ -131,6 +137,7 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
         std::move(inst_workers), num_current_workers, std::move(inst_tasks),
         num_current_tasks, quality_, config_.unit_price, config_.budget);
     instance.set_task_index(task_index_cache->view());
+    instance.set_thread_pool(runner.pool());
 
     // --- Assign (line 5). ---
     AssignmentResult result;

@@ -46,6 +46,14 @@ struct SimulatorConfig {
   /// every instance (the no-reuse baseline for measurements).
   IndexBackend index_backend = IndexBackend::kAuto;
   bool reuse_task_index = true;
+
+  /// Total threads the per-instance assignment work fans across: the
+  /// simulator hands each ProblemInstance a pool through
+  /// ProblemInstance::set_thread_pool, exactly like it hands the task
+  /// index. <= 1 (the default) keeps every path sequential; results are
+  /// byte-identical for any value (see src/exec/README.md). An assigner
+  /// configured with its own AssignerOptions::num_threads overrides this.
+  int num_threads = 1;
 };
 
 /// Drives an Assigner through all time instances of an arrival stream:

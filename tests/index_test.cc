@@ -37,6 +37,19 @@ std::vector<int64_t> CollectRect(const SpatialIndex& index, const BBox& rect) {
   return ids;
 }
 
+std::vector<int64_t> CollectReachable(const SpatialIndex& index,
+                                      const BBox& query, double velocity,
+                                      double max_deadline) {
+  std::vector<int64_t> ids;
+  index.QueryReachable(query, velocity, max_deadline,
+                       [&](int64_t id, const BBox& box, double min_dist) {
+                         EXPECT_EQ(min_dist, query.MinDistance(box));
+                         ids.push_back(id);
+                       });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 TEST(GridIndexTest, EmptyIndexReturnsNothing) {
   GridIndex index;
   EXPECT_EQ(index.size(), 0u);
@@ -208,6 +221,113 @@ TEST(GridIndexTest, MatchesBruteForceOnRandomQueries) {
                 CollectRadius(brute, query, radius))
           << "side=" << side << " q=" << q;
       EXPECT_EQ(CollectRect(grid, query), CollectRect(brute, query))
+          << "side=" << side << " q=" << q;
+    }
+  }
+}
+
+TEST(QueryReachableTest, FiltersByPerEntryDeadline) {
+  // Worker at the origin with velocity 1: a task at distance 0.5 is
+  // reachable only when its deadline is >= 0.5.
+  for (const int side : {0, 4}) {
+    GridIndex grid(side);
+    grid.BulkLoad({{1, BBox::FromPoint({0.5, 0.0}), /*deadline=*/1.0},
+                   {2, BBox::FromPoint({0.5, 0.0}), /*deadline=*/0.2},
+                   {3, BBox::FromPoint({0.9, 0.0}), /*deadline=*/0.95}});
+    const BBox query = BBox::FromPoint({0.0, 0.0});
+    // max_deadline 1.0 bounds the search radius at velocity 1.
+    EXPECT_EQ(CollectReachable(grid, query, 1.0, 1.0),
+              (std::vector<int64_t>{1, 3}));
+    // A slower worker loses the far entry, then the near one.
+    EXPECT_EQ(CollectReachable(grid, query, 0.6, 1.0),
+              (std::vector<int64_t>{1}));
+    EXPECT_EQ(CollectReachable(grid, query, 0.1, 1.0),
+              (std::vector<int64_t>{}));
+  }
+}
+
+TEST(QueryReachableTest, DefaultDeadlineNeverPrunes) {
+  // Entries without deadlines (infinity) must behave exactly like a plain
+  // radius query — including at velocity 0 (NaN product) and with
+  // negative velocities (degrade to 0).
+  GridIndex grid(5);
+  grid.BulkLoad({{1, BBox::FromPoint({0.3, 0.3})},
+                 {2, BBox({0.2, 0.2}, {0.8, 0.8})}});
+  EXPECT_EQ(CollectReachable(grid, BBox::FromPoint({0.3, 0.3}), 0.0, 2.0),
+            (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(CollectReachable(grid, BBox::FromPoint({0.3, 0.3}), -1.0, 2.0),
+            (std::vector<int64_t>{1, 2}));
+  // Radius 0.5: reaches the point at min-dist ~0.42 and the box at ~0.28.
+  EXPECT_EQ(CollectReachable(grid, BBox::FromPoint({0.0, 0.0}), 1.0, 0.5),
+            (std::vector<int64_t>{1, 2}));
+  // Radius 0.3: only the box stays in range.
+  EXPECT_EQ(CollectReachable(grid, BBox::FromPoint({0.0, 0.0}), 1.0, 0.3),
+            (std::vector<int64_t>{2}));
+}
+
+TEST(QueryReachableTest, StaleCellMaximaAfterEraseStaySound) {
+  // Erasing the long-deadline entry leaves the cell maxima stale (upper
+  // bounds); queries must still be exact for the remaining entries.
+  GridIndex grid(4);
+  grid.BulkLoad({{1, BBox::FromPoint({0.5, 0.5}), 10.0},
+                 {2, BBox::FromPoint({0.5, 0.5}), 0.1}});
+  ASSERT_TRUE(grid.Erase(1, BBox::FromPoint({0.5, 0.5})));
+  const BBox query = BBox::FromPoint({0.0, 0.5});
+  EXPECT_EQ(CollectReachable(grid, query, 1.0, 10.0),
+            (std::vector<int64_t>{}));  // entry 2 expires too soon
+  grid.Insert({3, BBox::FromPoint({0.5, 0.5}), 5.0});
+  EXPECT_EQ(CollectReachable(grid, query, 1.0, 10.0),
+            (std::vector<int64_t>{3}));
+}
+
+TEST(QueryReachableTest, GridMatchesBruteForceOnRandomQueries) {
+  Rng rng(321);
+  std::vector<IndexEntry> entries;
+  for (int64_t id = 0; id < 400; ++id) {
+    const bool kernel = rng.Bernoulli(0.3);
+    const BBox box =
+        kernel ? BBox::KernelBox({rng.Uniform(), rng.Uniform()},
+                                 rng.Uniform(0.0, 0.2), rng.Uniform(0.0, 0.2))
+               : BBox::FromPoint({rng.Uniform(), rng.Uniform()});
+    // Mix finite deadlines with the infinite default.
+    if (rng.Bernoulli(0.8)) {
+      entries.push_back({id, box, rng.Uniform(0.05, 2.0)});
+    } else {
+      entries.push_back({id, box});
+    }
+  }
+  for (const int side : {0, 1, 3, 16, 100}) {
+    GridIndex grid(side);
+    grid.BulkLoad(entries);
+    BruteForceIndex brute;
+    brute.BulkLoad(entries);
+    for (int q = 0; q < 200; ++q) {
+      const BBox query =
+          q % 2 == 0
+              ? BBox::FromPoint({rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)})
+              : BBox::KernelBox({rng.Uniform(), rng.Uniform()},
+                                rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3));
+      const double velocity = rng.Uniform(0.0, 0.6);
+      const double max_deadline = rng.Uniform(0.05, 2.5);
+      EXPECT_EQ(CollectReachable(grid, query, velocity, max_deadline),
+                CollectReachable(brute, query, velocity, max_deadline))
+          << "side=" << side << " q=" << q;
+      // QueryReachable must be exactly the radius result minus entries
+      // ruled out by their own deadline.
+      std::vector<int64_t> expected;
+      brute.QueryRadius(
+          query, velocity * max_deadline,
+          [&](int64_t id, const BBox& box, double min_dist) {
+            const double deadline = entries[static_cast<size_t>(id)].deadline;
+            if (min_dist <= velocity * deadline ||
+                (velocity == 0.0 && min_dist == 0.0)) {
+              (void)box;
+              expected.push_back(id);
+            }
+          });
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(CollectReachable(grid, query, velocity, max_deadline),
+                expected)
           << "side=" << side << " q=" << q;
     }
   }

@@ -1,0 +1,296 @@
+// The determinism contract of the parallel execution subsystem: pair
+// pools, assignments, and simulator metrics must be *byte-identical* for
+// num_threads in {1, 2, 4, 8} — thread count changes wall-clock time and
+// nothing else. Every comparison below is exact (operator== on doubles):
+// the parallel paths are constructed to run the same floating-point
+// operations in the same order as the sequential ones, and these tests
+// are the proof.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/assigner.h"
+#include "core/valid_pairs.h"
+#include "exec/parallel_runner.h"
+#include "exec/region_sharder.h"
+#include "index/grid_index.h"
+#include "quality/range_quality.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+#include "workload/synthetic.h"
+
+namespace mqa {
+namespace {
+
+using testing_util::MakePredictedTask;
+using testing_util::MakePredictedWorker;
+using testing_util::MakeTask;
+using testing_util::MakeWorker;
+
+constexpr int kThreadCounts[] = {2, 4, 8};
+
+void ExpectSameUncertain(const Uncertain& a, const Uncertain& b,
+                         const char* what, size_t k) {
+  EXPECT_EQ(a.mean(), b.mean()) << what << " mean, pair " << k;
+  EXPECT_EQ(a.variance(), b.variance()) << what << " variance, pair " << k;
+  EXPECT_EQ(a.lb(), b.lb()) << what << " lb, pair " << k;
+  EXPECT_EQ(a.ub(), b.ub()) << what << " ub, pair " << k;
+}
+
+void ExpectSamePool(const PairPool& sequential, const PairPool& parallel) {
+  ASSERT_EQ(sequential.pairs.size(), parallel.pairs.size());
+  for (size_t k = 0; k < sequential.pairs.size(); ++k) {
+    const CandidatePair& a = sequential.pairs[k];
+    const CandidatePair& b = parallel.pairs[k];
+    EXPECT_EQ(a.worker_index, b.worker_index) << "pair " << k;
+    EXPECT_EQ(a.task_index, b.task_index) << "pair " << k;
+    EXPECT_EQ(a.involves_predicted, b.involves_predicted) << "pair " << k;
+    EXPECT_EQ(a.existence, b.existence) << "pair " << k;
+    ExpectSameUncertain(a.cost, b.cost, "cost", k);
+    ExpectSameUncertain(a.quality, b.quality, "quality", k);
+    ExpectSameUncertain(a.EffectiveQuality(), b.EffectiveQuality(),
+                        "effective quality", k);
+  }
+  EXPECT_EQ(sequential.pairs_by_task, parallel.pairs_by_task);
+  EXPECT_EQ(sequential.pairs_by_worker, parallel.pairs_by_worker);
+}
+
+void ExpectSameAssignment(const AssignmentResult& a,
+                          const AssignmentResult& b) {
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.total_quality, b.total_quality);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+}
+
+/// A mixed current/predicted instance large enough to engage the sharded
+/// path (>= kMinParallelWorkers) across several regions.
+ProblemInstance MixedInstance(Rng* rng, const QualityModel* quality,
+                              int num_workers, int num_tasks, int num_pred,
+                              double velocity_hi, double budget) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    workers.push_back(MakeWorker(i, rng->Uniform(), rng->Uniform(),
+                                 rng->Uniform(0.01, velocity_hi)));
+  }
+  for (int i = 0; i < num_pred; ++i) {
+    workers.push_back(MakePredictedWorker(
+        5000 + i,
+        BBox::KernelBox({rng->Uniform(), rng->Uniform()},
+                        rng->Uniform(0.0, 0.15), rng->Uniform(0.0, 0.15)),
+        rng->Uniform(0.01, velocity_hi)));
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back(MakeTask(j, rng->Uniform(), rng->Uniform(),
+                             rng->Uniform(0.1, 2.0)));
+  }
+  for (int j = 0; j < num_pred; ++j) {
+    tasks.push_back(MakePredictedTask(
+        5000 + j,
+        BBox::KernelBox({rng->Uniform(), rng->Uniform()},
+                        rng->Uniform(0.0, 0.15), rng->Uniform(0.0, 0.15)),
+        rng->Uniform(0.1, 2.0)));
+  }
+  return ProblemInstance(std::move(workers), static_cast<size_t>(num_workers),
+                         std::move(tasks), static_cast<size_t>(num_tasks),
+                         quality, 1.0, budget);
+}
+
+TEST(ParallelPairPoolProperty, PoolIsByteIdenticalAcrossThreadCounts) {
+  const RangeQualityModel quality(1.0, 2.0, 7);
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const double velocity_hi = rng.Uniform(0.05, 0.6);
+    const ProblemInstance inst = MixedInstance(
+        &rng, &quality, static_cast<int>(rng.UniformInt(40, 250)),
+        static_cast<int>(rng.UniformInt(20, 250)),
+        static_cast<int>(rng.UniformInt(0, 40)), velocity_hi,
+        rng.Uniform(1.0, 20.0));
+
+    const PairPool sequential = BuildPairPool(inst, PairPoolOptions{});
+    for (const int threads : kThreadCounts) {
+      ParallelRunner runner(threads);
+      PairPoolOptions options;
+      options.thread_pool = runner.pool();
+      ExpectSamePool(sequential, BuildPairPool(inst, options));
+    }
+  }
+}
+
+TEST(ParallelPairPoolProperty, MultiShardPathIsExercisedAndIdentical) {
+  // Guaranteed multi-shard end-to-end coverage: hyperlocal velocities
+  // keep the reach cap high, and 600 workers push the region resolution
+  // well past one shard — so border-band task replication into per-shard
+  // indexes is on the tested path, not just ShardByRegion in isolation.
+  const RangeQualityModel quality(1.0, 2.0, 7);
+  Rng rng(77);
+  std::vector<Worker> workers;
+  for (int i = 0; i < 600; ++i) {
+    workers.push_back(MakeWorker(i, rng.Uniform(), rng.Uniform(),
+                                 rng.Uniform(0.02, 0.08)));
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < 500; ++j) {
+    tasks.push_back(MakeTask(j, rng.Uniform(), rng.Uniform(),
+                             rng.Uniform(0.2, 1.5)));
+  }
+  for (int j = 0; j < 60; ++j) {
+    tasks.push_back(MakePredictedTask(
+        5000 + j,
+        BBox::KernelBox({rng.Uniform(), rng.Uniform()}, 0.05, 0.05),
+        rng.Uniform(0.2, 1.5)));
+  }
+  const ProblemInstance inst(std::move(workers), 600, std::move(tasks), 500,
+                             &quality, 1.0, 10.0);
+
+  const ShardingPlan plan =
+      ShardByRegion(inst, inst.workers().size(), inst.tasks().size(), 1.5);
+  ASSERT_GT(plan.shards.size(), 4u) << "instance must span several shards";
+
+  const PairPool sequential = BuildPairPool(inst, PairPoolOptions{});
+  for (const int threads : kThreadCounts) {
+    ParallelRunner runner(threads);
+    PairPoolOptions options;
+    options.thread_pool = runner.pool();
+    ExpectSamePool(sequential, BuildPairPool(inst, options));
+  }
+}
+
+TEST(ParallelPairPoolProperty, PrebuiltIndexPathMatchesToo) {
+  // The simulator path: a shared (cache-style) index queried concurrently
+  // by every shard instead of per-shard indexes.
+  const RangeQualityModel quality(1.0, 2.0, 7);
+  Rng rng(32);
+  const ProblemInstance inst =
+      MixedInstance(&rng, &quality, 150, 150, 25, 0.3, 10.0);
+
+  GridIndex index;
+  std::vector<IndexEntry> entries;
+  for (size_t j = 0; j < inst.tasks().size(); ++j) {
+    entries.push_back({static_cast<int64_t>(j), inst.tasks()[j].location,
+                       inst.tasks()[j].deadline});
+  }
+  index.BulkLoad(entries);
+
+  PairPoolOptions seq_options;
+  seq_options.task_index = &index;
+  const PairPool sequential = BuildPairPool(inst, seq_options);
+  for (const int threads : kThreadCounts) {
+    ParallelRunner runner(threads);
+    PairPoolOptions options;
+    options.task_index = &index;
+    options.thread_pool = runner.pool();
+    ExpectSamePool(sequential, BuildPairPool(inst, options));
+  }
+}
+
+class ParallelAssignerProperty
+    : public ::testing::TestWithParam<AssignerKind> {};
+
+TEST_P(ParallelAssignerProperty, AssignmentIsByteIdenticalAcrossThreads) {
+  const RangeQualityModel quality(1.0, 2.0, 13);
+  Rng rng(47);
+  for (int trial = 0; trial < 4; ++trial) {
+    const ProblemInstance inst = MixedInstance(
+        &rng, &quality, static_cast<int>(rng.UniformInt(60, 200)),
+        static_cast<int>(rng.UniformInt(60, 200)),
+        static_cast<int>(rng.UniformInt(0, 30)), rng.Uniform(0.05, 0.5),
+        rng.Uniform(2.0, 15.0));
+
+    AssignerOptions base;
+    base.seed = 99;
+    auto sequential = CreateAssigner(GetParam(), base);
+    const auto expected = sequential->Assign(inst);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    for (const int threads : kThreadCounts) {
+      AssignerOptions options = base;
+      options.num_threads = threads;
+      auto parallel = CreateAssigner(GetParam(), options);
+      const auto got = parallel->Assign(inst);
+      ASSERT_TRUE(got.ok()) << got.status();
+      ExpectSameAssignment(expected.value(), got.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ParallelAssignerProperty,
+                         ::testing::Values(AssignerKind::kGreedy,
+                                           AssignerKind::kDivideConquer,
+                                           AssignerKind::kRandom),
+                         [](const ::testing::TestParamInfo<AssignerKind>& i) {
+                           std::string name = AssignerKindToString(i.param);
+                           for (char& c : name) {
+                             if (c == '&') c = 'n';
+                           }
+                           return name;
+                         });
+
+void ExpectSameSummary(const SimulationSummary& a,
+                       const SimulationSummary& b) {
+  ASSERT_EQ(a.per_instance.size(), b.per_instance.size());
+  for (size_t p = 0; p < a.per_instance.size(); ++p) {
+    const InstanceMetrics& ma = a.per_instance[p];
+    const InstanceMetrics& mb = b.per_instance[p];
+    EXPECT_EQ(ma.workers_available, mb.workers_available) << "instance " << p;
+    EXPECT_EQ(ma.tasks_available, mb.tasks_available) << "instance " << p;
+    EXPECT_EQ(ma.predicted_workers, mb.predicted_workers) << "instance " << p;
+    EXPECT_EQ(ma.predicted_tasks, mb.predicted_tasks) << "instance " << p;
+    EXPECT_EQ(ma.assigned, mb.assigned) << "instance " << p;
+    EXPECT_EQ(ma.quality, mb.quality) << "instance " << p;
+    EXPECT_EQ(ma.cost, mb.cost) << "instance " << p;
+    EXPECT_EQ(ma.worker_prediction_error, mb.worker_prediction_error)
+        << "instance " << p;
+    EXPECT_EQ(ma.task_prediction_error, mb.task_prediction_error)
+        << "instance " << p;
+  }
+  EXPECT_EQ(a.total_quality, b.total_quality);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.total_assigned, b.total_assigned);
+}
+
+// The full pipeline through the simulator, including the incrementally
+// maintained TaskIndexCache queried concurrently by shards.
+TEST(ParallelSimulatorProperty, MetricsAreByteIdenticalAcrossThreads) {
+  SyntheticConfig w;
+  w.num_workers = 400;
+  w.num_tasks = 400;
+  w.num_instances = 5;
+  w.seed = 23;
+  const ArrivalStream stream = GenerateSynthetic(w);
+  const RangeQualityModel quality(1.0, 2.0, 13);
+
+  for (const bool reuse_index : {true, false}) {
+    for (const AssignerKind kind :
+         {AssignerKind::kGreedy, AssignerKind::kDivideConquer}) {
+      SimulatorConfig config;
+      config.budget = 40.0;
+      config.unit_price = 10.0;
+      config.prediction.gamma = 8;
+      config.prediction.window = 3;
+      config.reuse_task_index = reuse_index;
+
+      Simulator sequential(config, &quality);
+      auto seq_assigner = CreateAssigner(kind, {.seed = 5});
+      const auto expected = sequential.Run(stream, seq_assigner.get());
+      ASSERT_TRUE(expected.ok()) << expected.status();
+
+      for (const int threads : kThreadCounts) {
+        SimulatorConfig par_config = config;
+        par_config.num_threads = threads;
+        Simulator parallel(par_config, &quality);
+        auto par_assigner = CreateAssigner(kind, {.seed = 5});
+        const auto got = parallel.Run(stream, par_assigner.get());
+        ASSERT_TRUE(got.ok()) << got.status();
+        ExpectSameSummary(expected.value(), got.value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqa
