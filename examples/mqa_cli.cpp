@@ -1,11 +1,14 @@
-// Command-line driver for the full MQA pipeline: pick a workload, an
-// algorithm and the paper's parameters from flags, run the simulator and
-// print per-instance metrics (optionally as CSV for plotting).
+// Command-line driver for the full MQA pipeline: pick a workload (batch
+// generator or a streaming scenario), an algorithm and the paper's
+// parameters from flags, run the batch simulator or the event-driven
+// streaming engine, and print per-instance/per-epoch metrics (optionally
+// as CSV for plotting).
 //
 // Examples:
 //   mqa_cli --workload=checkin --algo=dc --budget=300 --instances=15
 //   mqa_cli --workload=synthetic --algo=greedy --no-prediction --workers=2000 --tasks=2000 --csv
-//   mqa_cli --workload=synthetic --worker-dist=zipf --task-dist=uniform
+//   mqa_cli --scenario=bursty --stream --epoch-policy=backlog --backlog-threshold=200
+//   mqa_cli --scenario=rush-hour --stream --epoch-policy=interval --epoch-interval=0.5
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,9 +16,12 @@
 #include <string>
 
 #include "core/assigner.h"
+#include "exec/parallel_runner.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
+#include "stream/streaming_simulator.h"
 #include "workload/checkin.h"
+#include "workload/scenario.h"
 #include "workload/synthetic.h"
 
 namespace {
@@ -24,7 +30,9 @@ using namespace mqa;
 
 struct CliOptions {
   std::string workload = "synthetic";  // synthetic | checkin
+  std::string scenario = "paper";      // paper | rush-hour | bursty | hotspot-drift
   std::string algo = "greedy";         // greedy | dc | random
+  std::string epoch_policy = "instance";  // instance | interval | arrivals | backlog
   std::string worker_dist = "gaussian";
   std::string task_dist = "zipf";
   int64_t workers = 1250;
@@ -37,6 +45,11 @@ struct CliOptions {
   double v_lo = 0.2, v_hi = 0.3;
   int gamma = 20;
   int window = 3;
+  double epoch_interval = 0.5;
+  int64_t epoch_k = 256;
+  int64_t backlog_threshold = 256;
+  double max_interval = 4.0;
+  bool stream = false;
   bool prediction = true;
   bool rejoin = false;
   bool csv = false;
@@ -65,6 +78,12 @@ void PrintUsage() {
   std::printf(
       "usage: mqa_cli [flags]\n"
       "  --workload=synthetic|checkin   --algo=greedy|dc|random\n"
+      "  --scenario=paper|rush-hour|bursty|hotspot-drift (continuous-time\n"
+      "      arrival scenarios; non-paper scenarios replace --workload)\n"
+      "  --stream (run the event-driven streaming engine)\n"
+      "  --epoch-policy=instance|interval|arrivals|backlog\n"
+      "  --epoch-interval=dt --epoch-k=K --backlog-threshold=B\n"
+      "  --max-interval=dt (backlog policy failsafe)\n"
       "  --workers=N --tasks=N --instances=R --budget=B --unit-price=C\n"
       "  --q-lo --q-hi --e-lo --e-hi --v-lo --v-hi (paper ranges)\n"
       "  --worker-dist=gaussian|uniform|zipf --task-dist=...\n"
@@ -78,6 +97,70 @@ SpatialDistribution ParseDist(const std::string& s) {
   return SpatialDistribution::kGaussian;
 }
 
+int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
+                 EventQueue queue, Assigner* assigner,
+                 const RangeQualityModel& quality) {
+  StreamingSimulator sim(config, &quality);
+  const auto summary = sim.Run(std::move(queue), assigner);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "streaming simulation failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  const StreamSummary& s = summary.value();
+
+  if (opt.csv) {
+    std::printf(
+        "epoch,time,ingested_workers,ingested_tasks,backlog_before,"
+        "backlog_after,coverable,expired,assigned,quality,cost,"
+        "latency_seconds,mean_queue_wait\n");
+    for (const EpochStreamMetrics& e : s.per_epoch) {
+      std::printf(
+          "%lld,%.4f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,"
+          "%.4f\n",
+          static_cast<long long>(e.instance.instance), e.epoch_time,
+          static_cast<long long>(e.ingested_workers),
+          static_cast<long long>(e.ingested_tasks),
+          static_cast<long long>(e.backlog_before),
+          static_cast<long long>(e.backlog_after),
+          static_cast<long long>(e.coverable_backlog),
+          static_cast<long long>(e.expired),
+          static_cast<long long>(e.instance.assigned), e.instance.quality,
+          e.instance.cost, e.instance.cpu_seconds, e.mean_queue_wait);
+    }
+    return 0;
+  }
+
+  std::printf("%5s %8s %7s/%-6s %8s %8s %6s %8s %9s %8s\n", "epoch", "time",
+              "in.w", "in.t", "backlog", "covered", "expir", "assigned",
+              "latency", "wait");
+  for (const EpochStreamMetrics& e : s.per_epoch) {
+    std::printf(
+        "%5lld %8.2f %7lld/%-6lld %8lld %8lld %6lld %8lld %9.4f %8.2f\n",
+        static_cast<long long>(e.instance.instance), e.epoch_time,
+        static_cast<long long>(e.ingested_workers),
+        static_cast<long long>(e.ingested_tasks),
+        static_cast<long long>(e.backlog_before),
+        static_cast<long long>(e.coverable_backlog),
+        static_cast<long long>(e.expired),
+        static_cast<long long>(e.instance.assigned), e.instance.cpu_seconds,
+        e.mean_queue_wait);
+  }
+  std::printf(
+      "\n%zu epochs | total quality %.1f | total cost %.1f | assigned %lld | "
+      "expired %lld\n",
+      s.per_epoch.size(), s.total_quality, s.total_cost,
+      static_cast<long long>(s.total_assigned),
+      static_cast<long long>(s.total_expired));
+  std::printf(
+      "epoch latency p50/p99/max: %.4f/%.4f/%.4f s | queue wait p50/p99: "
+      "%.2f/%.2f | backlog mean/max: %.1f/%lld\n",
+      s.p50_epoch_latency, s.p99_epoch_latency, s.max_epoch_latency,
+      s.p50_queue_wait, s.p99_queue_wait, s.mean_backlog,
+      static_cast<long long>(s.max_backlog));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,7 +169,9 @@ int main(int argc, char** argv) {
     const char* a = argv[i];
     std::string sval;
     if (ParseFlag(a, "--workload", &opt.workload) ||
+        ParseFlag(a, "--scenario", &opt.scenario) ||
         ParseFlag(a, "--algo", &opt.algo) ||
+        ParseFlag(a, "--epoch-policy", &opt.epoch_policy) ||
         ParseFlag(a, "--worker-dist", &opt.worker_dist) ||
         ParseFlag(a, "--task-dist", &opt.task_dist) ||
         ParseNumeric(a, "--workers", &opt.workers) ||
@@ -102,6 +187,10 @@ int main(int argc, char** argv) {
         ParseNumeric(a, "--v-hi", &opt.v_hi) ||
         ParseNumeric(a, "--gamma", &opt.gamma) ||
         ParseNumeric(a, "--window", &opt.window) ||
+        ParseNumeric(a, "--epoch-interval", &opt.epoch_interval) ||
+        ParseNumeric(a, "--epoch-k", &opt.epoch_k) ||
+        ParseNumeric(a, "--backlog-threshold", &opt.backlog_threshold) ||
+        ParseNumeric(a, "--max-interval", &opt.max_interval) ||
         ParseNumeric(a, "--seed", &opt.seed) ||
         ParseNumeric(a, "--threads", &opt.threads)) {
       continue;
@@ -110,6 +199,8 @@ int main(int argc, char** argv) {
       opt.prediction = false;
     } else if (std::strcmp(a, "--rejoin") == 0) {
       opt.rejoin = true;
+    } else if (std::strcmp(a, "--stream") == 0) {
+      opt.stream = true;
     } else if (std::strcmp(a, "--csv") == 0) {
       opt.csv = true;
     } else if (std::strcmp(a, "--help") == 0) {
@@ -122,34 +213,68 @@ int main(int argc, char** argv) {
     }
   }
 
-  ArrivalStream stream;
-  if (opt.workload == "checkin") {
-    CheckinConfig w;
-    w.num_workers = opt.workers;
-    w.num_tasks = opt.tasks;
-    w.num_instances = opt.instances;
-    w.velocity_lo = opt.v_lo;
-    w.velocity_hi = opt.v_hi;
-    w.deadline_lo = opt.e_lo;
-    w.deadline_hi = opt.e_hi;
-    w.seed = opt.seed;
-    stream = GenerateCheckin(w);
-  } else if (opt.workload == "synthetic") {
-    SyntheticConfig w;
-    w.num_workers = opt.workers;
-    w.num_tasks = opt.tasks;
-    w.num_instances = opt.instances;
-    w.worker_dist.kind = ParseDist(opt.worker_dist);
-    w.task_dist.kind = ParseDist(opt.task_dist);
-    w.velocity_lo = opt.v_lo;
-    w.velocity_hi = opt.v_hi;
-    w.deadline_lo = opt.e_lo;
-    w.deadline_hi = opt.e_hi;
-    w.seed = opt.seed;
-    stream = GenerateSynthetic(w);
-  } else {
-    std::fprintf(stderr, "unknown workload: %s\n", opt.workload.c_str());
+  ScenarioKind scenario_kind = ScenarioKind::kPaper;
+  if (opt.scenario == "rush-hour") scenario_kind = ScenarioKind::kRushHour;
+  else if (opt.scenario == "bursty") scenario_kind = ScenarioKind::kBursty;
+  else if (opt.scenario == "hotspot-drift")
+    scenario_kind = ScenarioKind::kHotspotDrift;
+  else if (opt.scenario != "paper") {
+    std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario.c_str());
     return 2;
+  }
+  const bool use_scenario = scenario_kind != ScenarioKind::kPaper;
+
+  ScenarioStream scenario;
+  ArrivalStream stream;
+  {
+    // Scoped so the generation pool's threads are released before the
+    // simulators spin up their own.
+    ParallelRunner gen_runner(opt.threads);
+    if (use_scenario) {
+      ScenarioConfig w;
+      w.kind = scenario_kind;
+      w.num_workers = opt.workers;
+      w.num_tasks = opt.tasks;
+      w.horizon = static_cast<double>(opt.instances);
+      w.worker_dist.kind = ParseDist(opt.worker_dist);
+      w.task_dist.kind = ParseDist(opt.task_dist);
+      w.velocity_lo = opt.v_lo;
+      w.velocity_hi = opt.v_hi;
+      w.deadline_lo = opt.e_lo;
+      w.deadline_hi = opt.e_hi;
+      w.seed = opt.seed;
+      scenario = GenerateScenario(w, gen_runner.pool());
+      if (!opt.stream) {
+        stream = ScenarioToArrivalStream(scenario, opt.instances);
+      }
+    } else if (opt.workload == "checkin") {
+      CheckinConfig w;
+      w.num_workers = opt.workers;
+      w.num_tasks = opt.tasks;
+      w.num_instances = opt.instances;
+      w.velocity_lo = opt.v_lo;
+      w.velocity_hi = opt.v_hi;
+      w.deadline_lo = opt.e_lo;
+      w.deadline_hi = opt.e_hi;
+      w.seed = opt.seed;
+      stream = GenerateCheckin(w);
+    } else if (opt.workload == "synthetic") {
+      SyntheticConfig w;
+      w.num_workers = opt.workers;
+      w.num_tasks = opt.tasks;
+      w.num_instances = opt.instances;
+      w.worker_dist.kind = ParseDist(opt.worker_dist);
+      w.task_dist.kind = ParseDist(opt.task_dist);
+      w.velocity_lo = opt.v_lo;
+      w.velocity_hi = opt.v_hi;
+      w.deadline_lo = opt.e_lo;
+      w.deadline_hi = opt.e_hi;
+      w.seed = opt.seed;
+      stream = GenerateSynthetic(w, gen_runner.pool());
+    } else {
+      std::fprintf(stderr, "unknown workload: %s\n", opt.workload.c_str());
+      return 2;
+    }
   }
 
   AssignerKind kind = AssignerKind::kGreedy;
@@ -173,8 +298,58 @@ int main(int argc, char** argv) {
   // src/exec/README.md); --threads only changes wall-clock time.
   config.num_threads = opt.threads;
 
-  Simulator sim(config, &quality);
   auto assigner = CreateAssigner(kind, {.seed = opt.seed});
+
+  if (opt.stream) {
+    StreamingConfig sconfig;
+    sconfig.sim = config;
+    sconfig.sim.maintain_worker_index = true;
+    sconfig.horizon = static_cast<double>(opt.instances);
+    if (opt.epoch_policy == "instance") {
+      sconfig.policy.kind = EpochPolicyKind::kPerInstance;
+    } else if (opt.epoch_policy == "interval") {
+      sconfig.policy.kind = EpochPolicyKind::kFixedInterval;
+      sconfig.policy.interval = opt.epoch_interval;
+    } else if (opt.epoch_policy == "arrivals") {
+      sconfig.policy.kind = EpochPolicyKind::kEveryKArrivals;
+      sconfig.policy.k_arrivals = opt.epoch_k;
+    } else if (opt.epoch_policy == "backlog") {
+      sconfig.policy.kind = EpochPolicyKind::kAdaptiveBacklog;
+      sconfig.policy.backlog_threshold = opt.backlog_threshold;
+      sconfig.policy.max_interval = opt.max_interval;
+    } else {
+      std::fprintf(stderr, "unknown epoch policy: %s\n",
+                   opt.epoch_policy.c_str());
+      return 2;
+    }
+    EventQueue queue;
+    if (use_scenario) {
+      queue = EventQueue::FromScenario(scenario);
+    } else {
+      const auto valid = stream.Validate();
+      if (!valid.ok()) {
+        std::fprintf(stderr, "invalid stream: %s\n",
+                     valid.ToString().c_str());
+        return 1;
+      }
+      queue = EventQueue::FromArrivalStream(stream);
+    }
+    if (!opt.csv) {
+      std::printf("%s streaming on %s (%lld workers, %lld tasks, horizon %d, "
+                  "policy %s, B=%.0f, %s)\n\n",
+                  assigner->name(),
+                  use_scenario ? ScenarioKindToString(scenario_kind)
+                               : opt.workload.c_str(),
+                  static_cast<long long>(opt.workers),
+                  static_cast<long long>(opt.tasks), opt.instances,
+                  EpochPolicyKindToString(sconfig.policy.kind), opt.budget,
+                  opt.prediction ? "WP" : "WoP");
+    }
+    return RunStreaming(opt, sconfig, std::move(queue), assigner.get(),
+                        quality);
+  }
+
+  Simulator sim(config, &quality);
   const auto summary = sim.Run(stream, assigner.get());
   if (!summary.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n",
@@ -203,7 +378,9 @@ int main(int argc, char** argv) {
 
   std::printf("%s on %s (%lld workers, %lld tasks, R=%d, B=%.0f, C=%.0f, "
               "%s)\n\n",
-              assigner->name(), opt.workload.c_str(),
+              assigner->name(),
+              use_scenario ? ScenarioKindToString(scenario_kind)
+                           : opt.workload.c_str(),
               static_cast<long long>(opt.workers),
               static_cast<long long>(opt.tasks), opt.instances, opt.budget,
               opt.unit_price, opt.prediction ? "WP" : "WoP");

@@ -1,0 +1,217 @@
+#ifndef MQA_INDEX_ENTITY_INDEX_CACHE_H_
+#define MQA_INDEX_ENTITY_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "index/spatial_index.h"
+
+namespace mqa {
+
+/// Maintains an entity spatial index *across* simulation epochs so the
+/// per-epoch index cost is proportional to the churn, not the pool. This
+/// is the machinery behind TaskIndexCache (tasks) and WorkerIndexCache
+/// (workers): the two instantiations differ only in how an entity maps to
+/// an (id, location box, pruning bound) triple, expressed by `Traits`:
+///
+///   struct Traits {
+///     static int64_t id(const Entity&);
+///     static const BBox& box(const Entity&);
+///     static double bound(const Entity&);  // IndexEntry::deadline slot
+///   };
+///
+/// Entities carried over between epochs keep their buckets: on each
+/// BeginInstance the incoming entity vector is matched against the live
+/// entries by (id, location box); only arrivals are inserted and only
+/// departures erased. Entries are stored under stable internal slots;
+/// view() exposes a read-only SpatialIndex whose ids are positions in the
+/// entity vector most recently passed to BeginInstance.
+///
+/// Pruning bounds: entries are inserted with Traits::bound at first
+/// sight. A carried-over entity whose true bound shrinks over time (a
+/// task's remaining deadline) keeps the inserted value — a stale *upper
+/// bound*, which QueryReachable pruning tolerates by design (stale maxima
+/// only weaken pruning; the exact downstream filter stays authoritative).
+///
+/// Concurrency: BeginInstance mutates the cache and must be exclusive;
+/// between BeginInstance calls, view() queries are const pass-throughs
+/// and safe from any number of threads concurrently.
+template <typename Entity, typename Traits>
+class EntityIndexCache {
+ public:
+  /// kAuto resolves to the grid backend (the cache only pays off at the
+  /// scales where the grid wins).
+  explicit EntityIndexCache(IndexBackend backend = IndexBackend::kAuto)
+      : index_(CreateSpatialIndex(backend == IndexBackend::kAuto
+                                      ? IndexBackend::kGrid
+                                      : backend)),
+        view_(std::make_unique<View>()) {}
+
+  /// Syncs the cache to `entities` (the full epoch vector, current plus
+  /// predicted). Invalidates the previous view().
+  void BeginInstance(const std::vector<Entity>& entities) {
+    if (live_.empty()) {
+      // Nothing to carry over (first epoch, or the no-reuse baseline):
+      // one bulk build at the right resolution instead of incremental
+      // insert/rebalance churn.
+      slot_boxes_.clear();
+      free_slots_.clear();
+      slot_to_index_.resize(entities.size());
+      std::vector<IndexEntry> entries;
+      entries.reserve(entities.size());
+      for (size_t j = 0; j < entities.size(); ++j) {
+        const Entity& e = entities[j];
+        slot_boxes_.push_back(Traits::box(e));
+        entries.push_back(
+            {static_cast<int64_t>(j), Traits::box(e), Traits::bound(e)});
+        live_.emplace(Traits::id(e), static_cast<int32_t>(j));
+        slot_to_index_[j] = static_cast<int32_t>(j);
+      }
+      index_->BulkLoad(entries);
+      view_->Reset(index_.get(), &slot_to_index_, entities.size());
+      return;
+    }
+
+    // Every live slot was allocated before this call, so `claimed` sized
+    // to the current slot store covers them all.
+    std::vector<char> claimed(slot_boxes_.size(), 0);
+    std::unordered_multimap<int64_t, int32_t> next_live;
+    next_live.reserve(entities.size());
+
+    slot_to_index_.assign(slot_boxes_.size(), -1);
+    for (size_t j = 0; j < entities.size(); ++j) {
+      const Entity& e = entities[j];
+      int32_t slot = -1;
+      auto range = live_.equal_range(Traits::id(e));
+      for (auto it = range.first; it != range.second; ++it) {
+        const int32_t s = it->second;
+        if (!claimed[static_cast<size_t>(s)] &&
+            slot_boxes_[static_cast<size_t>(s)] == Traits::box(e)) {
+          slot = s;
+          claimed[static_cast<size_t>(s)] = 1;
+          break;
+        }
+      }
+      if (slot < 0) {
+        slot = AllocateSlot(Traits::box(e));
+        // Carried-over entities keep the bound they were inserted with
+        // even as the true bound shrinks — a stale *upper bound*, which
+        // QueryReachable's pruning tolerates by design (it only ever
+        // makes pruning less sharp, never wrong).
+        index_->Insert({slot, Traits::box(e), Traits::bound(e)});
+        if (static_cast<size_t>(slot) < claimed.size()) {
+          claimed[static_cast<size_t>(slot)] = 1;  // reused a freed slot
+        }
+      }
+      next_live.emplace(Traits::id(e), slot);
+      if (static_cast<size_t>(slot) >= slot_to_index_.size()) {
+        slot_to_index_.resize(static_cast<size_t>(slot) + 1, -1);
+      }
+      slot_to_index_[static_cast<size_t>(slot)] = static_cast<int32_t>(j);
+    }
+
+    // Departures: live entries nothing claimed this epoch.
+    for (const auto& [id, slot] : live_) {
+      if (claimed[static_cast<size_t>(slot)]) continue;
+      const bool erased =
+          index_->Erase(slot, slot_boxes_[static_cast<size_t>(slot)]);
+      MQA_CHECK(erased) << "entity index cache out of sync at slot " << slot;
+      free_slots_.push_back(slot);
+    }
+    live_ = std::move(next_live);
+
+    view_->Reset(index_.get(), &slot_to_index_, entities.size());
+  }
+
+  /// Index over the entities of the last BeginInstance call; entry ids
+  /// are indices into that vector. Valid until the next BeginInstance.
+  const SpatialIndex* view() const { return view_.get(); }
+
+  /// Entries currently bucketed in the underlying index.
+  size_t size() const { return index_->size(); }
+
+ private:
+  /// Read-only adapter translating internal slots to epoch entity
+  /// indices. Queries are const pass-throughs to the underlying index, so
+  /// the view inherits its concurrency guarantee: any number of threads
+  /// may query one view concurrently between BeginInstance calls.
+  class View final : public SpatialIndex {
+   public:
+    void Reset(const SpatialIndex* index,
+               const std::vector<int32_t>* slot_to_index, size_t num_entities) {
+      index_ = index;
+      slot_to_index_ = slot_to_index;
+      num_entities_ = num_entities;
+    }
+
+    void BulkLoad(const std::vector<IndexEntry>&) override {
+      MQA_CHECK(false) << "EntityIndexCache view is read-only";
+    }
+    using SpatialIndex::Insert;
+    void Insert(const IndexEntry&) override {
+      MQA_CHECK(false) << "EntityIndexCache view is read-only";
+    }
+    bool Erase(int64_t, const BBox&) override {
+      MQA_CHECK(false) << "EntityIndexCache view is read-only";
+      return false;
+    }
+
+    void QueryRadius(const BBox& query, double radius,
+                     const RadiusVisitor& visit) const override {
+      index_->QueryRadius(
+          query, radius, [&](int64_t slot, const BBox& box, double min_dist) {
+            visit((*slot_to_index_)[static_cast<size_t>(slot)], box, min_dist);
+          });
+    }
+
+    void QueryReachable(const BBox& query, double velocity, double max_deadline,
+                        const RadiusVisitor& visit) const override {
+      index_->QueryReachable(
+          query, velocity, max_deadline,
+          [&](int64_t slot, const BBox& box, double min_dist) {
+            visit((*slot_to_index_)[static_cast<size_t>(slot)], box, min_dist);
+          });
+    }
+
+    void QueryRect(const BBox& rect, const RectVisitor& visit) const override {
+      index_->QueryRect(rect, [&](int64_t slot, const BBox& box) {
+        visit((*slot_to_index_)[static_cast<size_t>(slot)], box);
+      });
+    }
+
+    size_t size() const override { return num_entities_; }
+    const char* name() const override { return index_->name(); }
+
+   private:
+    const SpatialIndex* index_ = nullptr;
+    const std::vector<int32_t>* slot_to_index_ = nullptr;
+    size_t num_entities_ = 0;
+  };
+
+  int32_t AllocateSlot(const BBox& box) {
+    if (!free_slots_.empty()) {
+      const int32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      slot_boxes_[static_cast<size_t>(slot)] = box;
+      return slot;
+    }
+    slot_boxes_.push_back(box);
+    return static_cast<int32_t>(slot_boxes_.size() - 1);
+  }
+
+  std::unique_ptr<SpatialIndex> index_;  // entry ids are internal slots
+  std::vector<BBox> slot_boxes_;
+  std::vector<int32_t> free_slots_;
+  // Live (id -> slot) entries of the previous epoch; multimap so a
+  // malformed stream with duplicate ids degrades to churn, not corruption.
+  std::unordered_multimap<int64_t, int32_t> live_;
+  std::vector<int32_t> slot_to_index_;
+  std::unique_ptr<View> view_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_ENTITY_INDEX_CACHE_H_

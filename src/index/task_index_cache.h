@@ -1,75 +1,34 @@
 #ifndef MQA_INDEX_TASK_INDEX_CACHE_H_
 #define MQA_INDEX_TASK_INDEX_CACHE_H_
 
-#include <cstdint>
-#include <memory>
-#include <unordered_map>
-#include <vector>
-
-#include "index/spatial_index.h"
+#include "index/entity_index_cache.h"
 #include "model/task.h"
 
 namespace mqa {
 
-/// Maintains a task spatial index *across* the simulator's time instances
-/// so BuildPairPool does not re-bucket every task every instance.
+/// Trait instantiation behind TaskIndexCache: tasks are bucketed by their
+/// location box and carry their deadline as the QueryReachable pruning
+/// bound, so worker-centric reachability scans can skip entries (and, in
+/// GridIndex, whole cells) a worker cannot reach in time.
 ///
-/// Tasks carried over between instances keep their grid buckets: on each
-/// BeginInstance the incoming task vector is matched against the live
-/// entries by (TaskId, location box); only arrivals are inserted and only
-/// departures (assigned/expired tasks, last instance's predicted tasks)
-/// are erased. Since a steady-state instance replaces a small fraction of
-/// the task pool, the per-instance index maintenance cost is proportional
-/// to the churn, not the pool.
-///
-/// Entries are stored under stable internal slots; view() exposes a
-/// read-only SpatialIndex whose ids are positions in the task vector most
-/// recently passed to BeginInstance — exactly the id convention
-/// ProblemInstance::task_index expects.
-///
-/// Deadlines: entries are inserted with the task's deadline at first
-/// sight. A carried-over task's remaining deadline shrinks each instance
-/// while its cached entry keeps the original value — a stale *upper
-/// bound*, which QueryReachable pruning tolerates by design (stale maxima
-/// only weaken pruning; the exact CanReach filter downstream stays
+/// Deadlines: entries keep the deadline they were inserted with even as a
+/// carried-over task's remaining deadline shrinks each epoch — a stale
+/// *upper bound*, which QueryReachable pruning tolerates by design (stale
+/// maxima only weaken pruning; the exact CanReach filter downstream stays
 /// authoritative).
-///
-/// Concurrency: BeginInstance mutates the cache and must be exclusive;
-/// between BeginInstance calls, view() queries are const pass-throughs
-/// and safe from any number of threads concurrently (the parallel pair
-/// builder queries one view from every pool thread).
-class TaskIndexCache {
- public:
-  /// kAuto resolves to the grid backend (the cache only pays off at the
-  /// scales where the grid wins).
-  explicit TaskIndexCache(IndexBackend backend = IndexBackend::kAuto);
-  ~TaskIndexCache();
-
-  /// Syncs the cache to `tasks` (the full instance task vector, current
-  /// plus predicted). Invalidates the previous view().
-  void BeginInstance(const std::vector<Task>& tasks);
-
-  /// Index over the tasks of the last BeginInstance call; entry ids are
-  /// indices into that vector. Valid until the next BeginInstance.
-  const SpatialIndex* view() const;
-
-  /// Entries currently bucketed in the underlying index.
-  size_t size() const { return index_->size(); }
-
- private:
-  class View;
-
-  int32_t AllocateSlot(const BBox& box);
-
-  std::unique_ptr<SpatialIndex> index_;  // entry ids are internal slots
-  std::vector<BBox> slot_boxes_;
-  std::vector<int32_t> free_slots_;
-  // Live (TaskId -> slot) entries of the previous instance; multimap so a
-  // malformed stream with duplicate ids degrades to churn, not corruption.
-  std::unordered_multimap<TaskId, int32_t> live_;
-  std::vector<int32_t> slot_to_index_;
-  std::unique_ptr<View> view_;
+struct TaskIndexTraits {
+  static int64_t id(const Task& t) { return t.id; }
+  static const BBox& box(const Task& t) { return t.location; }
+  static double bound(const Task& t) { return t.deadline; }
 };
+
+/// Maintains a task spatial index *across* the simulator's epochs so
+/// BuildPairPool does not re-bucket every task every epoch. Entry ids of
+/// view() are positions in the task vector most recently passed to
+/// BeginInstance — exactly the id convention ProblemInstance::task_index
+/// expects. See EntityIndexCache for the carryover and concurrency
+/// contract.
+using TaskIndexCache = EntityIndexCache<Task, TaskIndexTraits>;
 
 }  // namespace mqa
 

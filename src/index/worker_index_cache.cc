@@ -1,0 +1,13 @@
+#include "index/worker_index_cache.h"
+
+namespace mqa {
+
+double MaxWorkerVelocity(const std::vector<Worker>& workers) {
+  double max_v = 0.0;
+  for (const Worker& w : workers) {
+    if (w.velocity > max_v) max_v = w.velocity;
+  }
+  return max_v;
+}
+
+}  // namespace mqa

@@ -1,0 +1,48 @@
+#ifndef MQA_INDEX_WORKER_INDEX_CACHE_H_
+#define MQA_INDEX_WORKER_INDEX_CACHE_H_
+
+#include "index/entity_index_cache.h"
+#include "model/worker.h"
+
+namespace mqa {
+
+/// Trait instantiation behind WorkerIndexCache: workers are bucketed by
+/// their location box and carry their *velocity* in the IndexEntry bound
+/// slot. That makes QueryReachable answer the task-centric reachability
+/// question by symmetry: a worker w can serve a task t iff
+///
+///   MinDistance(w.box, t.box) <= w.velocity * t.deadline,
+///
+/// which is exactly the QueryReachable visit condition
+/// `min_dist <= velocity * min(entry.bound, max_deadline)` when called as
+///
+///   QueryReachable(t.location, /*velocity=*/t.deadline,
+///                  /*max_deadline=*/max_worker_velocity, visit)
+///
+/// — the roles of the two factors swap, and GridIndex's per-cell maxima
+/// prune whole cells of slow workers the same way they prune cells of
+/// tight-deadline tasks. Velocities never shrink over an entity's
+/// lifetime, so unlike task deadlines the stored bound is never stale.
+struct WorkerIndexTraits {
+  static int64_t id(const Worker& w) { return w.id; }
+  static const BBox& box(const Worker& w) { return w.location; }
+  static double bound(const Worker& w) { return w.velocity; }
+};
+
+/// Incremental worker index mirroring TaskIndexCache, for task-centric
+/// candidate-worker queries and streaming arrival ingestion: the
+/// StreamingSimulator inserts worker arrivals/rejoins and erases assigned
+/// workers across epochs instead of re-bucketing the pool. Entry ids of
+/// view() are positions in the worker vector most recently passed to
+/// BeginInstance. See EntityIndexCache for the carryover and concurrency
+/// contract.
+using WorkerIndexCache = EntityIndexCache<Worker, WorkerIndexTraits>;
+
+/// The largest `max_deadline` argument that never prunes a worker entry
+/// by the cap in QueryReachable(task_box, task_deadline, cap): any value
+/// at or above the pool's maximum velocity is exact.
+double MaxWorkerVelocity(const std::vector<Worker>& workers);
+
+}  // namespace mqa
+
+#endif  // MQA_INDEX_WORKER_INDEX_CACHE_H_

@@ -63,6 +63,15 @@ class ProblemInstance {
   const SpatialIndex* task_index() const { return task_index_; }
   void set_task_index(const SpatialIndex* index) { task_index_ = index; }
 
+  /// Optional spatial index over workers(), the mirror of task_index()
+  /// for task-centric candidate-worker queries: entry ids are indices
+  /// into workers(), and entries carry each worker's *velocity* as the
+  /// QueryReachable bound (see src/index/worker_index_cache.h for the
+  /// query convention). Non-owning; the streaming simulator points this
+  /// at its incrementally maintained WorkerIndexCache.
+  const SpatialIndex* worker_index() const { return worker_index_; }
+  void set_worker_index(const SpatialIndex* index) { worker_index_ = index; }
+
   /// Optional thread pool the assigner may fan work across (sharded pair
   /// generation, divide-and-conquer subproblems); nullptr — the default —
   /// selects the sequential code paths. Non-owning, must outlive the
@@ -104,6 +113,7 @@ class ProblemInstance {
   size_t num_current_tasks_ = 0;
   const QualityModel* quality_ = nullptr;
   const SpatialIndex* task_index_ = nullptr;
+  const SpatialIndex* worker_index_ = nullptr;
   ThreadPool* thread_pool_ = nullptr;
   double unit_price_ = 1.0;
   double budget_ = 0.0;

@@ -1,0 +1,170 @@
+#include "sim/epoch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "model/assignment.h"
+#include "prediction/grid.h"
+
+namespace mqa {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+EpochRunner::EpochRunner(const SimulatorConfig& config,
+                         const QualityModel* quality)
+    : config_(config),
+      quality_(quality),
+      predictor_(config.prediction,
+                 MakeCountPredictor(config.prediction.predictor)),
+      // Task index maintained across epochs: arrivals are inserted and
+      // departures erased, so steady-state index upkeep costs O(churn),
+      // not O(|T|), and BuildPairPool never re-buckets carried-over
+      // tasks. Without reuse it is recreated per epoch in RunEpoch.
+      task_index_cache_(std::make_unique<TaskIndexCache>(config.index_backend)),
+      worker_index_cache_(config.maintain_worker_index
+                              ? std::make_unique<WorkerIndexCache>(
+                                    config.index_backend)
+                              : nullptr),
+      // Pool shared by all epochs of the run (threads spin up once); the
+      // assigner sees it through ProblemInstance::thread_pool, like the
+      // task index. Sequential configs carry a null pool.
+      runner_(config.num_threads) {
+  MQA_CHECK(quality != nullptr) << "quality model required";
+}
+
+EpochRunner::~EpochRunner() = default;
+
+const SpatialIndex* EpochRunner::worker_index() const {
+  return worker_index_cache_ ? worker_index_cache_->view() : nullptr;
+}
+
+Result<EpochOutcome> EpochRunner::RunEpoch(
+    int64_t epoch_index, const std::vector<Worker>& new_workers,
+    const std::vector<Task>& new_tasks,
+    const std::vector<Worker>& available_workers,
+    const std::vector<Task>& available_tasks, bool predict_next,
+    Assigner* assigner) {
+  if (assigner == nullptr) {
+    return Status::InvalidArgument("assigner required");
+  }
+  EpochOutcome outcome;
+  InstanceMetrics& metrics = outcome.metrics;
+  metrics.instance = epoch_index;
+
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // --- Prediction bookkeeping + next-epoch prediction (Fig. 3 line 4). ---
+  Prediction prediction;
+  if (config_.use_prediction) {
+    // Score the previous epoch's prediction against today's actuals.
+    if (!prev_pred_worker_counts_.empty()) {
+      std::vector<Point> worker_points;
+      worker_points.reserve(new_workers.size());
+      for (const Worker& w : new_workers) worker_points.push_back(w.Center());
+      std::vector<Point> task_points;
+      task_points.reserve(new_tasks.size());
+      for (const Task& t : new_tasks) task_points.push_back(t.Center());
+      metrics.worker_prediction_error = GridPredictor::AverageRelativeError(
+          prev_pred_worker_counts_, predictor_.grid().Histogram(worker_points));
+      metrics.task_prediction_error = GridPredictor::AverageRelativeError(
+          prev_pred_task_counts_, predictor_.grid().Histogram(task_points));
+    }
+    predictor_.Observe(new_workers, new_tasks);
+    if (predict_next) {
+      prediction = predictor_.PredictNext();
+      prev_pred_worker_counts_ = prediction.worker_cell_counts;
+      prev_pred_task_counts_ = prediction.task_cell_counts;
+    } else {
+      prev_pred_worker_counts_.clear();
+      prev_pred_task_counts_.clear();
+    }
+  }
+
+  // --- Assemble the assigner input (current first, then predicted). ---
+  std::vector<Worker> inst_workers = available_workers;
+  std::vector<Task> inst_tasks = available_tasks;
+  const size_t num_current_workers = inst_workers.size();
+  const size_t num_current_tasks = inst_tasks.size();
+  inst_workers.insert(inst_workers.end(), prediction.workers.begin(),
+                      prediction.workers.end());
+  inst_tasks.insert(inst_tasks.end(), prediction.tasks.begin(),
+                    prediction.tasks.end());
+  metrics.workers_available = static_cast<int64_t>(num_current_workers);
+  metrics.tasks_available = static_cast<int64_t>(num_current_tasks);
+  metrics.predicted_workers = static_cast<int64_t>(prediction.workers.size());
+  metrics.predicted_tasks = static_cast<int64_t>(prediction.tasks.size());
+
+  if (!config_.reuse_task_index) {
+    task_index_cache_ = std::make_unique<TaskIndexCache>(config_.index_backend);
+  }
+  task_index_cache_->BeginInstance(inst_tasks);
+  if (worker_index_cache_) {
+    worker_index_cache_->BeginInstance(inst_workers);
+  }
+  ProblemInstance instance(
+      std::move(inst_workers), num_current_workers, std::move(inst_tasks),
+      num_current_tasks, quality_, config_.unit_price, config_.budget);
+  instance.set_task_index(task_index_cache_->view());
+  if (worker_index_cache_) {
+    instance.set_worker_index(worker_index_cache_->view());
+  }
+  instance.set_thread_pool(runner_.pool());
+
+  // --- Assign (line 5). ---
+  MQA_ASSIGN_OR_RETURN(outcome.result, assigner->Assign(instance));
+  metrics.cpu_seconds = Seconds(t_start);
+
+  if (config_.validate_assignments) {
+    MQA_RETURN_NOT_OK(ValidateAssignment(instance, outcome.result));
+  }
+  metrics.assigned = static_cast<int64_t>(outcome.result.pairs.size());
+  metrics.quality = outcome.result.total_quality;
+  metrics.cost = outcome.result.total_cost;
+
+  // --- Mark consumed entities and compute rejoins (lines 6-7). ---
+  outcome.worker_assigned.assign(available_workers.size(), 0);
+  outcome.task_assigned.assign(available_tasks.size(), 0);
+  for (const Assignment& a : outcome.result.pairs) {
+    // Assigners only emit current-current pairs, so the indices address
+    // the available prefix of the instance vectors. Checked even with
+    // validate_assignments off: an out-of-contract index must die loudly
+    // here, not corrupt the marking vectors.
+    MQA_CHECK(a.worker_index >= 0 &&
+              static_cast<size_t>(a.worker_index) < available_workers.size())
+        << "assignment names non-current worker " << a.worker_index;
+    MQA_CHECK(a.task_index >= 0 &&
+              static_cast<size_t>(a.task_index) < available_tasks.size())
+        << "assignment names non-current task " << a.task_index;
+    outcome.worker_assigned[static_cast<size_t>(a.worker_index)] = 1;
+    outcome.task_assigned[static_cast<size_t>(a.task_index)] = 1;
+
+    if (config_.workers_rejoin) {
+      const Worker& w =
+          instance.workers()[static_cast<size_t>(a.worker_index)];
+      const Task& t = instance.tasks()[static_cast<size_t>(a.task_index)];
+      const double travel =
+          Distance(w.Center(), t.Center()) / std::max(w.velocity, 1e-9);
+      EpochOutcome::Rejoin rejoin;
+      rejoin.worker = w;
+      rejoin.worker.location = BBox::FromPoint(t.Center());
+      rejoin.offset = std::max<int64_t>(
+          1, static_cast<int64_t>(std::ceil(travel / kInstanceDuration)));
+      outcome.rejoins.push_back(std::move(rejoin));
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace mqa

@@ -1,28 +1,11 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
-#include "exec/parallel_runner.h"
-#include "index/task_index_cache.h"
-#include "model/assignment.h"
-#include "prediction/grid.h"
+#include "sim/epoch_runner.h"
 
 namespace mqa {
-
-namespace {
-
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 Simulator::Simulator(const SimulatorConfig& config, const QualityModel* quality)
     : config_(config), quality_(quality) {
@@ -37,21 +20,8 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
   }
   const int num_instances = stream.num_instances();
 
-  GridPredictor predictor(config_.prediction,
-                          MakeCountPredictor(config_.prediction.predictor));
+  EpochRunner runner(config_, quality_);
   SimulationSummary summary;
-
-  // Task index maintained across instances: arrivals are inserted and
-  // departures erased, so steady-state index upkeep costs O(churn), not
-  // O(|T|), and BuildPairPool never re-buckets carried-over tasks.
-  // Without reuse it is recreated below, once per instance.
-  auto task_index_cache =
-      std::make_unique<TaskIndexCache>(config_.index_backend);
-
-  // Pool shared by all instances of the run (threads spin up once); the
-  // assigner sees it through ProblemInstance::thread_pool, like the task
-  // index. Sequential configs carry a null pool.
-  ParallelRunner runner(config_.num_threads);
 
   std::vector<Worker> available_workers;
   std::vector<Task> available_tasks;
@@ -59,15 +29,7 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
   std::vector<std::vector<Worker>> rejoin_queue(
       static_cast<size_t>(num_instances) + 1);
 
-  // The previous instance's predicted per-cell counts, compared against
-  // this instance's actual arrivals (Fig. 10).
-  std::vector<int64_t> prev_pred_worker_counts;
-  std::vector<int64_t> prev_pred_task_counts;
-
   for (int p = 0; p < num_instances; ++p) {
-    InstanceMetrics metrics;
-    metrics.instance = p;
-
     // --- Retrieve available workers/tasks (Fig. 3 lines 2-3). ---
     // New arrivals: the stream batch plus workers rejoining after
     // finishing earlier tasks (both count as "new" for prediction).
@@ -84,96 +46,20 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
     available_tasks.insert(available_tasks.end(), new_tasks.begin(),
                            new_tasks.end());
 
-    const auto t_start = std::chrono::steady_clock::now();
-
-    // --- Prediction bookkeeping + next-instance prediction (line 4). ---
-    Prediction prediction;
-    if (config_.use_prediction) {
-      // Score the previous instance's prediction against today's actuals.
-      if (!prev_pred_worker_counts.empty()) {
-        std::vector<Point> worker_points;
-        worker_points.reserve(new_workers.size());
-        for (const Worker& w : new_workers) worker_points.push_back(w.Center());
-        std::vector<Point> task_points;
-        task_points.reserve(new_tasks.size());
-        for (const Task& t : new_tasks) task_points.push_back(t.Center());
-        metrics.worker_prediction_error = GridPredictor::AverageRelativeError(
-            prev_pred_worker_counts, predictor.grid().Histogram(worker_points));
-        metrics.task_prediction_error = GridPredictor::AverageRelativeError(
-            prev_pred_task_counts, predictor.grid().Histogram(task_points));
-      }
-      predictor.Observe(new_workers, new_tasks);
-      if (p + 1 < num_instances) {
-        prediction = predictor.PredictNext();
-        prev_pred_worker_counts = prediction.worker_cell_counts;
-        prev_pred_task_counts = prediction.task_cell_counts;
-      } else {
-        prev_pred_worker_counts.clear();
-        prev_pred_task_counts.clear();
-      }
-    }
-
-    // --- Assemble the assigner input (current first, then predicted). ---
-    std::vector<Worker> inst_workers = available_workers;
-    std::vector<Task> inst_tasks = available_tasks;
-    const size_t num_current_workers = inst_workers.size();
-    const size_t num_current_tasks = inst_tasks.size();
-    inst_workers.insert(inst_workers.end(), prediction.workers.begin(),
-                        prediction.workers.end());
-    inst_tasks.insert(inst_tasks.end(), prediction.tasks.begin(),
-                      prediction.tasks.end());
-    metrics.workers_available = static_cast<int64_t>(num_current_workers);
-    metrics.tasks_available = static_cast<int64_t>(num_current_tasks);
-    metrics.predicted_workers =
-        static_cast<int64_t>(prediction.workers.size());
-    metrics.predicted_tasks = static_cast<int64_t>(prediction.tasks.size());
-
-    if (!config_.reuse_task_index) {
-      task_index_cache =
-          std::make_unique<TaskIndexCache>(config_.index_backend);
-    }
-    task_index_cache->BeginInstance(inst_tasks);
-    ProblemInstance instance(
-        std::move(inst_workers), num_current_workers, std::move(inst_tasks),
-        num_current_tasks, quality_, config_.unit_price, config_.budget);
-    instance.set_task_index(task_index_cache->view());
-    instance.set_thread_pool(runner.pool());
-
-    // --- Assign (line 5). ---
-    AssignmentResult result;
-    MQA_ASSIGN_OR_RETURN(result, assigner->Assign(instance));
-    metrics.cpu_seconds = Seconds(t_start);
-
-    if (config_.validate_assignments) {
-      MQA_RETURN_NOT_OK(ValidateAssignment(instance, result));
-    }
-    metrics.assigned = static_cast<int64_t>(result.pairs.size());
-    metrics.quality = result.total_quality;
-    metrics.cost = result.total_cost;
+    // --- Predict + assign (lines 4-5), shared with the streaming engine. ---
+    EpochOutcome outcome;
+    MQA_ASSIGN_OR_RETURN(
+        outcome, runner.RunEpoch(p, new_workers, new_tasks, available_workers,
+                                 available_tasks,
+                                 /*predict_next=*/p + 1 < num_instances,
+                                 assigner));
 
     // --- Apply the assignment (lines 6-7). ---
-    std::unordered_set<int32_t> assigned_workers;
-    std::unordered_set<int32_t> assigned_tasks;
-    for (const Assignment& a : result.pairs) {
-      assigned_workers.insert(a.worker_index);
-      assigned_tasks.insert(a.task_index);
-
-      if (config_.workers_rejoin) {
-        const Worker& w = instance.workers()[static_cast<size_t>(
-            a.worker_index)];
-        const Task& t =
-            instance.tasks()[static_cast<size_t>(a.task_index)];
-        const double travel =
-            Distance(w.Center(), t.Center()) / std::max(w.velocity, 1e-9);
-        const int64_t rejoin_at =
-            p + std::max<int64_t>(
-                    1, static_cast<int64_t>(
-                           std::ceil(travel / kInstanceDuration)));
-        if (rejoin_at < num_instances) {
-          Worker rejoined = w;
-          rejoined.location = BBox::FromPoint(t.Center());
-          rejoin_queue[static_cast<size_t>(rejoin_at)].push_back(rejoined);
-        }
+    for (EpochOutcome::Rejoin& rejoin : outcome.rejoins) {
+      const int64_t rejoin_at = p + rejoin.offset;
+      if (rejoin_at < num_instances) {
+        rejoin_queue[static_cast<size_t>(rejoin_at)].push_back(
+            std::move(rejoin.worker));
       }
     }
 
@@ -181,14 +67,14 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
     std::vector<Worker> carried_workers;
     carried_workers.reserve(available_workers.size());
     for (size_t i = 0; i < available_workers.size(); ++i) {
-      if (assigned_workers.count(static_cast<int32_t>(i)) == 0) {
+      if (!outcome.worker_assigned[i]) {
         carried_workers.push_back(available_workers[i]);
       }
     }
     std::vector<Task> carried_tasks;
     carried_tasks.reserve(available_tasks.size());
     for (size_t j = 0; j < available_tasks.size(); ++j) {
-      if (assigned_tasks.count(static_cast<int32_t>(j)) > 0) continue;
+      if (outcome.task_assigned[j]) continue;
       Task t = available_tasks[j];
       t.deadline -= kInstanceDuration;
       if (t.deadline > 0.0) carried_tasks.push_back(t);
@@ -196,7 +82,7 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
     available_workers = std::move(carried_workers);
     available_tasks = std::move(carried_tasks);
 
-    summary.per_instance.push_back(metrics);
+    summary.per_instance.push_back(outcome.metrics);
   }
 
   summary.Finalize();

@@ -5,61 +5,22 @@
 
 #include "common/result.h"
 #include "core/assigner.h"
-#include "index/spatial_index.h"
-#include "prediction/predictor.h"
 #include "quality/quality_model.h"
 #include "sim/arrival_stream.h"
 #include "sim/metrics.h"
+#include "sim/simulator_config.h"
 
 namespace mqa {
-
-/// Configuration of the MQA_Framework loop (paper Fig. 3).
-struct SimulatorConfig {
-  /// Per-instance traveling budget B.
-  double budget = 300.0;
-
-  /// Unit price C per distance unit.
-  double unit_price = 10.0;
-
-  /// When false, the assigner sees only current entities (the paper's
-  /// "WoP" — without prediction — straw man).
-  bool use_prediction = true;
-
-  /// Grid predictor settings (used when use_prediction).
-  PredictionConfig prediction;
-
-  /// Workers that complete a task rejoin the pool at the task's location
-  /// after their travel time ("workers who finished tasks ... are also
-  /// treated as new workers", paper Section II-E).
-  bool workers_rejoin = true;
-
-  /// Validate every assignment against the Def. 3/4 invariants (cheap
-  /// relative to assignment; keep on except in microbenchmarks).
-  bool validate_assignments = true;
-
-  /// Spatial-index backend for valid-pair generation; the simulator
-  /// always hands the assigner a task index through
-  /// ProblemInstance::task_index (kAuto resolves to the grid). With
-  /// reuse_task_index the index is maintained across time instances
-  /// (insert arrivals / erase departures) so carried-over tasks are
-  /// never re-bucketed; without it the index is rebuilt from scratch
-  /// every instance (the no-reuse baseline for measurements).
-  IndexBackend index_backend = IndexBackend::kAuto;
-  bool reuse_task_index = true;
-
-  /// Total threads the per-instance assignment work fans across: the
-  /// simulator hands each ProblemInstance a pool through
-  /// ProblemInstance::set_thread_pool, exactly like it hands the task
-  /// index. <= 1 (the default) keeps every path sequential; results are
-  /// byte-identical for any value (see src/exec/README.md). An assigner
-  /// configured with its own AssignerOptions::num_threads overrides this.
-  int num_threads = 1;
-};
 
 /// Drives an Assigner through all time instances of an arrival stream:
 ///   retrieve available workers/tasks -> predict next instance ->
 ///   assign -> apply (busy workers travel, tasks complete or expire,
 ///   unassigned entities carry over) -> record metrics.
+///
+/// The per-instance predict/assign core lives in EpochRunner, shared
+/// with the streaming engine (src/stream/); this class owns the batch
+/// clock: one epoch per stream instance, arrivals fed from the batches,
+/// rejoins routed through an instance-indexed queue.
 class Simulator {
  public:
   /// `quality` must outlive the simulator.

@@ -1,0 +1,63 @@
+#include "stream/event_queue.h"
+
+#include <utility>
+
+namespace mqa {
+
+void EventQueue::Push(StreamEvent event) {
+  event.seq = next_seq_++;
+  if (event.kind == EventKind::kWorkerArrival ||
+      event.kind == EventKind::kTaskArrival) {
+    if (event.time > max_arrival_time_) max_arrival_time_ = event.time;
+  }
+  heap_.push(std::move(event));
+}
+
+StreamEvent EventQueue::Pop() {
+  StreamEvent event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+EventQueue EventQueue::FromArrivalStream(const ArrivalStream& stream) {
+  EventQueue queue;
+  for (size_t p = 0; p < stream.workers.size(); ++p) {
+    const double time = static_cast<double>(p);
+    for (const Worker& w : stream.workers[p]) {
+      StreamEvent e;
+      e.time = time;
+      e.kind = EventKind::kWorkerArrival;
+      e.worker = w;
+      queue.Push(std::move(e));
+    }
+    for (const Task& t : stream.tasks[p]) {
+      StreamEvent e;
+      e.time = time;
+      e.kind = EventKind::kTaskArrival;
+      e.task = t;
+      queue.Push(std::move(e));
+    }
+  }
+  return queue;
+}
+
+EventQueue EventQueue::FromScenario(const ScenarioStream& scenario) {
+  EventQueue queue;
+  for (const TimedWorker& tw : scenario.workers) {
+    StreamEvent e;
+    e.time = tw.time;
+    e.kind = EventKind::kWorkerArrival;
+    e.worker = tw.worker;
+    queue.Push(std::move(e));
+  }
+  for (const TimedTask& tt : scenario.tasks) {
+    StreamEvent e;
+    e.time = tt.time;
+    e.kind = EventKind::kTaskArrival;
+    e.task = tt.task;
+    queue.Push(std::move(e));
+  }
+  return queue;
+}
+
+}  // namespace mqa

@@ -1,0 +1,62 @@
+#include "stream/stream_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mqa {
+
+namespace {
+
+// Nearest-rank percentile over an already-sorted sample: the smallest
+// value with at least p% of the sample at or below it.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return SortedPercentile(values, p);
+}
+
+void StreamSummary::Finalize() {
+  total_assigned = 0;
+  total_expired = 0;
+  total_quality = 0.0;
+  total_cost = 0.0;
+  mean_backlog = 0.0;
+  max_backlog = 0;
+
+  std::vector<double> latencies;
+  latencies.reserve(per_epoch.size());
+  for (const EpochStreamMetrics& e : per_epoch) {
+    total_assigned += e.instance.assigned;
+    total_expired += e.expired;
+    total_quality += e.instance.quality;
+    total_cost += e.instance.cost;
+    mean_backlog += static_cast<double>(e.backlog_before);
+    max_backlog = std::max(max_backlog, e.backlog_before);
+    latencies.push_back(e.instance.cpu_seconds);
+  }
+  if (!per_epoch.empty()) {
+    mean_backlog /= static_cast<double>(per_epoch.size());
+  }
+
+  // One sort per sample serves every rank (queue_waits can hold one
+  // entry per assigned task over a long run).
+  std::sort(latencies.begin(), latencies.end());
+  p50_epoch_latency = SortedPercentile(latencies, 50.0);
+  p99_epoch_latency = SortedPercentile(latencies, 99.0);
+  max_epoch_latency = latencies.empty() ? 0.0 : latencies.back();
+  std::vector<double> sorted_waits = queue_waits;
+  std::sort(sorted_waits.begin(), sorted_waits.end());
+  p50_queue_wait = SortedPercentile(sorted_waits, 50.0);
+  p99_queue_wait = SortedPercentile(sorted_waits, 99.0);
+}
+
+}  // namespace mqa

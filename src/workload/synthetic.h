@@ -2,11 +2,14 @@
 #define MQA_WORKLOAD_SYNTHETIC_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/arrival_stream.h"
 #include "workload/spatial_dist.h"
 
 namespace mqa {
+
+class ThreadPool;
 
 /// The paper's synthetic workload (Table IV). `num_workers` (n) and
 /// `num_tasks` (m) are totals across all `num_instances` (R) instances —
@@ -31,7 +34,30 @@ struct SyntheticConfig {
 };
 
 /// Generates per-instance arrival batches for the synthetic workload.
-ArrivalStream GenerateSynthetic(const SyntheticConfig& config);
+///
+/// Generation is chunked: every run of kWorkloadChunk consecutive
+/// entities draws from its own SplitMix64-derived RNG stream (ShardSeed
+/// over the config seed and the chunk ordinal), so chunks are mutually
+/// independent and can fill in parallel. Pass a ThreadPool to fan the
+/// chunks out; the output is byte-identical for any thread count,
+/// including none — the sequential path walks the same chunks in order
+/// (property-tested in tests/workload_test.cc).
+ArrivalStream GenerateSynthetic(const SyntheticConfig& config,
+                                ThreadPool* pool = nullptr);
+
+/// Entities per RNG chunk, shared by every chunked workload generator
+/// (synthetic and the scenario layer). Small enough that million-entity
+/// workloads split into hundreds of parallel work items, large enough
+/// that the per-chunk seeding cost vanishes.
+inline constexpr int64_t kWorkloadChunk = 8192;
+
+/// Runs fn(c) for every chunk ordinal c in [0, num_chunks) — on the pool
+/// when one is given, sequentially in the same order otherwise. The
+/// shared dispatch of the chunked generators: since each chunk's RNG
+/// stream is derived from the chunk ordinal alone, both paths produce
+/// byte-identical output.
+void RunWorkloadChunks(int64_t num_chunks, ThreadPool* pool,
+                       const std::function<void(int64_t)>& fn);
 
 }  // namespace mqa
 

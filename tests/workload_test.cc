@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.h"
 #include "workload/checkin.h"
+#include "workload/scenario.h"
 #include "workload/spatial_dist.h"
 #include "workload/synthetic.h"
 
@@ -133,6 +135,177 @@ TEST(SyntheticTest, UniqueIds) {
       EXPECT_TRUE(ids.insert(w.id).second);
     }
   }
+}
+
+bool SameWorker(const Worker& a, const Worker& b) {
+  return a.id == b.id && a.location == b.location &&
+         a.velocity == b.velocity && a.arrival == b.arrival;
+}
+
+bool SameTask(const Task& a, const Task& b) {
+  return a.id == b.id && a.location == b.location &&
+         a.deadline == b.deadline && a.arrival == b.arrival;
+}
+
+TEST(SyntheticTest, ParallelGenerationIdenticalToSequential) {
+  SyntheticConfig config;
+  config.num_workers = 3 * kWorkloadChunk + 137;  // straddle chunk bounds
+  config.num_tasks = 2 * kWorkloadChunk + 11;
+  config.num_instances = 7;
+  config.seed = 23;
+  const ArrivalStream sequential = GenerateSynthetic(config);
+  EXPECT_TRUE(sequential.Validate().ok());
+  for (const int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    const ArrivalStream parallel = GenerateSynthetic(config, &pool);
+    ASSERT_EQ(parallel.num_instances(), sequential.num_instances());
+    for (int p = 0; p < sequential.num_instances(); ++p) {
+      ASSERT_EQ(parallel.workers[p].size(), sequential.workers[p].size());
+      for (size_t i = 0; i < sequential.workers[p].size(); ++i) {
+        ASSERT_TRUE(SameWorker(parallel.workers[p][i],
+                               sequential.workers[p][i]))
+            << "threads=" << threads << " instance " << p << " worker " << i;
+      }
+      ASSERT_EQ(parallel.tasks[p].size(), sequential.tasks[p].size());
+      for (size_t j = 0; j < sequential.tasks[p].size(); ++j) {
+        ASSERT_TRUE(SameTask(parallel.tasks[p][j], sequential.tasks[p][j]))
+            << "threads=" << threads << " instance " << p << " task " << j;
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, ParallelGenerationIdenticalToSequential) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kBursty;
+  config.num_workers = 9000;
+  config.num_tasks = 9000;
+  config.horizon = 10.0;
+  config.seed = 5;
+  const ScenarioStream sequential = GenerateScenario(config);
+  ThreadPool pool(4);
+  const ScenarioStream parallel = GenerateScenario(config, &pool);
+  ASSERT_EQ(parallel.workers.size(), sequential.workers.size());
+  ASSERT_EQ(parallel.tasks.size(), sequential.tasks.size());
+  for (size_t i = 0; i < sequential.workers.size(); ++i) {
+    ASSERT_EQ(parallel.workers[i].time, sequential.workers[i].time);
+    ASSERT_TRUE(SameWorker(parallel.workers[i].worker,
+                           sequential.workers[i].worker));
+  }
+  for (size_t j = 0; j < sequential.tasks.size(); ++j) {
+    ASSERT_EQ(parallel.tasks[j].time, sequential.tasks[j].time);
+    ASSERT_TRUE(SameTask(parallel.tasks[j].task, sequential.tasks[j].task));
+  }
+}
+
+TEST(ScenarioTest, CountsSortedTimesAndHorizonBounds) {
+  for (const ScenarioKind kind :
+       {ScenarioKind::kPaper, ScenarioKind::kRushHour, ScenarioKind::kBursty,
+        ScenarioKind::kHotspotDrift}) {
+    ScenarioConfig config;
+    config.kind = kind;
+    config.num_workers = 900;
+    config.num_tasks = 700;
+    config.horizon = 8.0;
+    const ScenarioStream stream = GenerateScenario(config);
+    ASSERT_EQ(stream.workers.size(), 900u) << ScenarioKindToString(kind);
+    ASSERT_EQ(stream.tasks.size(), 700u);
+    double prev = 0.0;
+    for (const TimedWorker& tw : stream.workers) {
+      ASSERT_GE(tw.time, prev);
+      ASSERT_LT(tw.time, config.horizon);
+      ASSERT_EQ(tw.worker.arrival,
+                static_cast<Timestamp>(std::floor(tw.time)));
+      prev = tw.time;
+    }
+  }
+}
+
+TEST(ScenarioTest, BurstyConcentratesArrivals) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kBursty;
+  config.num_workers = 8000;
+  config.num_tasks = 0;
+  config.horizon = 10.0;
+  config.burst_amplitude = 20.0;
+  const ScenarioStream stream = GenerateScenario(config);
+  // Slice the horizon into 100 buckets: with 20x bursts, the busiest
+  // bucket must dwarf the median-ish quiet bucket.
+  std::vector<int> buckets(100, 0);
+  for (const TimedWorker& tw : stream.workers) {
+    ++buckets[static_cast<size_t>(std::min(
+        99.0, tw.time / config.horizon * 100.0))];
+  }
+  std::vector<int> sorted = buckets;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted.back(), 4 * std::max(1, sorted[50]));
+}
+
+TEST(ScenarioTest, RushHourPeaksWhereConfigured) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRushHour;
+  config.num_workers = 8000;
+  config.num_tasks = 0;
+  config.horizon = 10.0;
+  config.rush_peak1 = 0.3;
+  config.rush_peak2 = 0.75;
+  config.rush_amplitude = 6.0;
+  const ScenarioStream stream = GenerateScenario(config);
+  int near_peak = 0;
+  int near_trough = 0;
+  for (const TimedWorker& tw : stream.workers) {
+    const double x = tw.time / config.horizon;
+    if (std::fabs(x - 0.3) < 0.05 || std::fabs(x - 0.75) < 0.05) ++near_peak;
+    if (std::fabs(x - 0.52) < 0.05 || std::fabs(x - 0.05) < 0.05)
+      ++near_trough;
+  }
+  EXPECT_GT(near_peak, 2 * near_trough);
+}
+
+TEST(ScenarioTest, HotspotDriftMigratesCenter) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kHotspotDrift;
+  config.num_workers = 6000;
+  config.num_tasks = 0;
+  config.horizon = 10.0;
+  config.worker_dist.kind = SpatialDistribution::kGaussian;
+  config.worker_dist.gaussian_sigma = 0.1;
+  config.drift_start = {0.2, 0.2};
+  config.drift_end = {0.8, 0.8};
+  const ScenarioStream stream = GenerateScenario(config);
+  double early_x = 0.0, late_x = 0.0;
+  int early_n = 0, late_n = 0;
+  for (const TimedWorker& tw : stream.workers) {
+    if (tw.time < 0.2 * config.horizon) {
+      early_x += tw.worker.Center().x;
+      ++early_n;
+    } else if (tw.time > 0.8 * config.horizon) {
+      late_x += tw.worker.Center().x;
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 100);
+  ASSERT_GT(late_n, 100);
+  EXPECT_LT(early_x / early_n, 0.4);  // near drift_start
+  EXPECT_GT(late_x / late_n, 0.6);    // near drift_end
+}
+
+TEST(ScenarioTest, ToArrivalStreamBucketsAndValidates) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRushHour;
+  config.num_workers = 500;
+  config.num_tasks = 400;
+  config.horizon = 6.0;
+  const ScenarioStream scenario = GenerateScenario(config);
+  const ArrivalStream stream = ScenarioToArrivalStream(scenario, 6);
+  EXPECT_TRUE(stream.Validate().ok());
+  int64_t workers = 0, tasks = 0;
+  for (int p = 0; p < 6; ++p) {
+    workers += static_cast<int64_t>(stream.workers[p].size());
+    tasks += static_cast<int64_t>(stream.tasks[p].size());
+  }
+  EXPECT_EQ(workers, 500);
+  EXPECT_EQ(tasks, 400);
 }
 
 TEST(CheckinTest, ScaleMatchesPaperDefaults) {
