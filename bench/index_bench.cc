@@ -7,8 +7,16 @@
 // 0.6 — most pairs valid, so indexing can only help marginally). The
 // speedup claim in CHANGES.md is the city regime at 10k x 10k.
 //
-// MQA_INDEX_BENCH_MAX caps the instance size (default 50000).
+// The third phase measures pool *materialization* on the dense "paper"
+// regime (the post-PR-1 bottleneck): columnar build time (lazy vs eager
+// statistics), steady-state arena-reuse build time, bytes/pair and arena
+// footprint, self-checking lazy-vs-eager equality, and emits the numbers
+// as BENCH_pairpool.json.
+//
+// MQA_INDEX_BENCH_MAX caps the instance size (default 50000);
+// MQA_BENCH_SCALE scales the pool-phase sizes (default 1).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -16,16 +24,26 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/valid_pairs.h"
+#include "exec/pair_arena.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
 
 namespace mqa {
 namespace {
 
+using testing_util::MakePredictedTask;
+using testing_util::MakePredictedWorker;
 using testing_util::MakeTask;
 using testing_util::MakeWorker;
+
+double Now(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 ProblemInstance UniformInstance(int n, double v_lo, double v_hi,
                                 const QualityModel* quality, Rng* rng) {
@@ -46,6 +64,41 @@ ProblemInstance UniformInstance(int n, double v_lo, double v_hi,
                          /*unit_price=*/10.0, /*budget=*/300.0);
 }
 
+/// Dense paper-regime instance with `n` current workers/tasks plus 10%
+/// predicted entities — the simulator's input shape, so the lazy Cases
+/// 1-3 machinery is on the measured path.
+ProblemInstance MixedPaperInstance(int n, const QualityModel* quality,
+                                   Rng* rng) {
+  const int n_pred = n / 10;
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<size_t>(n + n_pred));
+  for (int i = 0; i < n; ++i) {
+    workers.push_back(MakeWorker(i, rng->Uniform(), rng->Uniform(),
+                                 rng->Uniform(0.2, 0.3)));
+  }
+  for (int i = 0; i < n_pred; ++i) {
+    workers.push_back(MakePredictedWorker(
+        100000 + i,
+        BBox::KernelBox({rng->Uniform(), rng->Uniform()}, 0.05, 0.05),
+        rng->Uniform(0.2, 0.3)));
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<size_t>(n + n_pred));
+  for (int j = 0; j < n; ++j) {
+    tasks.push_back(
+        MakeTask(j, rng->Uniform(), rng->Uniform(), rng->Uniform(1.0, 2.0)));
+  }
+  for (int j = 0; j < n_pred; ++j) {
+    tasks.push_back(MakePredictedTask(
+        100000 + j,
+        BBox::KernelBox({rng->Uniform(), rng->Uniform()}, 0.05, 0.05),
+        rng->Uniform(1.0, 2.0)));
+  }
+  return ProblemInstance(std::move(workers), static_cast<size_t>(n),
+                         std::move(tasks), static_cast<size_t>(n), quality,
+                         /*unit_price=*/10.0, /*budget=*/300.0);
+}
+
 double TimePool(const ProblemInstance& instance, IndexBackend backend,
                 int reps, size_t* num_pairs) {
   PairPoolOptions options;
@@ -54,11 +107,9 @@ double TimePool(const ProblemInstance& instance, IndexBackend backend,
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
     const PairPool pool = BuildPairPool(instance, options);
-    const double s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    const double s = Now(start);
     if (s < best) best = s;
-    *num_pairs = pool.pairs.size();
+    *num_pairs = pool.size();
   }
   return best;
 }
@@ -95,6 +146,139 @@ void RunRegime(const char* name, double v_lo, double v_hi,
   }
 }
 
+struct PoolPhaseResult {
+  int n = 0;
+  size_t pairs = 0;
+  double build_lazy_s = 0.0;    // fresh arena, lazy statistics
+  double build_eager_s = 0.0;   // fresh arena, eager statistics
+  double build_reuse_s = 0.0;   // steady state: arena reused across builds
+  int64_t pool_bytes = 0;
+  double bytes_per_pair = 0.0;
+  int64_t arena_slabs = 0;
+  int64_t arena_peak_bytes = 0;
+};
+
+/// Measures columnar pool materialization on one mixed instance.
+PoolPhaseResult MeasurePoolPhase(const ProblemInstance& instance, int n,
+                                 int reps) {
+  PoolPhaseResult result;
+  result.n = n;
+
+  PairPoolOptions lazy_options;
+  lazy_options.backend = IndexBackend::kGrid;
+  PairPoolOptions eager_options = lazy_options;
+  eager_options.eager_stats = true;
+
+  result.build_lazy_s = 1e100;
+  result.build_eager_s = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const PairPool pool = BuildPairPool(instance, lazy_options);
+      result.build_lazy_s = std::min(result.build_lazy_s, Now(start));
+      result.pairs = pool.size();
+      const PairPoolStats stats = pool.Stats();
+      result.pool_bytes = stats.pool_bytes;
+      result.bytes_per_pair =
+          pool.empty() ? 0.0
+                       : static_cast<double>(stats.pool_bytes) /
+                             static_cast<double>(pool.size());
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const PairPool pool = BuildPairPool(instance, eager_options);
+      result.build_eager_s = std::min(result.build_eager_s, Now(start));
+    }
+  }
+
+  // Steady state: one external arena reused across epochs (the simulator
+  // path). The first build grows the slabs; later builds allocate
+  // nothing.
+  PairArena arena;
+  result.build_reuse_s = 1e100;
+  PairPoolOptions reuse_options = lazy_options;
+  reuse_options.arena = &arena;
+  for (int r = 0; r < reps + 2; ++r) {
+    arena.Reset();
+    const auto start = std::chrono::steady_clock::now();
+    const PairPool pool = BuildPairPool(instance, reuse_options);
+    if (r > 0) {  // skip the cold build that grows the arena
+      result.build_reuse_s = std::min(result.build_reuse_s, Now(start));
+    }
+    const PairPoolStats stats = pool.Stats();
+    result.arena_slabs = stats.arena_slabs;
+    result.arena_peak_bytes = stats.arena_peak_bytes;
+  }
+
+  // Self-check: lazy and eager materialization must be byte-identical.
+  const PairPool lazy = BuildPairPool(instance, lazy_options);
+  const PairPool eager = BuildPairPool(instance, eager_options);
+  MQA_CHECK(lazy.size() == eager.size()) << "pool size diverged";
+  const size_t stride = lazy.size() > 10000 ? lazy.size() / 10000 : 1;
+  for (size_t k = 0; k < lazy.size(); k += stride) {
+    const CandidatePair a = lazy.GetPair(static_cast<int32_t>(k));
+    const CandidatePair b = eager.GetPair(static_cast<int32_t>(k));
+    MQA_CHECK(a.worker_index == b.worker_index &&
+              a.task_index == b.task_index &&
+              a.cost.mean() == b.cost.mean() &&
+              a.quality.mean() == b.quality.mean() &&
+              a.quality.variance() == b.quality.variance() &&
+              a.existence == b.existence)
+        << "lazy vs eager materialization diverged at pair " << k;
+  }
+  return result;
+}
+
+void RunPoolPhase(const std::vector<int>& sizes, int max_n) {
+  const RangeQualityModel quality(1.0, 2.0);
+  std::printf(
+      "\n-- pairpool materialization phase (paper regime + 10%% predicted) "
+      "--\n");
+  std::printf("%8s %12s %10s %10s %10s %8s %7s %10s\n", "n", "pairs",
+              "lazy_s", "eager_s", "reuse_s", "B/pair", "slabs", "Mpairs/s");
+
+  std::vector<PoolPhaseResult> results;
+  for (const int n : sizes) {
+    if (n > max_n) continue;
+    Rng rng(4242 + n);
+    const ProblemInstance instance = MixedPaperInstance(n, &quality, &rng);
+    const PoolPhaseResult r = MeasurePoolPhase(instance, n, n <= 2000 ? 3 : 1);
+    results.push_back(r);
+    std::printf("%8d %12zu %10.4f %10.4f %10.4f %8.1f %7lld %10.3f\n", r.n,
+                r.pairs, r.build_lazy_s, r.build_eager_s, r.build_reuse_s,
+                r.bytes_per_pair, static_cast<long long>(r.arena_slabs),
+                static_cast<double>(r.pairs) / r.build_reuse_s / 1e6);
+  }
+
+  // Machine-readable record for CI history and the PR description.
+  FILE* json = std::fopen("BENCH_pairpool.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_pairpool.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"regime\": \"paper+10%%predicted\",\n");
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PoolPhaseResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"n\": %d, \"pairs\": %zu, \"build_lazy_seconds\": %.6f, "
+        "\"build_eager_seconds\": %.6f, \"build_reuse_seconds\": %.6f, "
+        "\"pool_bytes\": %lld, \"bytes_per_pair\": %.2f, "
+        "\"arena_slabs\": %lld, \"arena_peak_bytes\": %lld, "
+        "\"pairs_per_second_steady\": %.0f}%s\n",
+        r.n, r.pairs, r.build_lazy_s, r.build_eager_s, r.build_reuse_s,
+        static_cast<long long>(r.pool_bytes), r.bytes_per_pair,
+        static_cast<long long>(r.arena_slabs),
+        static_cast<long long>(r.arena_peak_bytes),
+        static_cast<double>(r.pairs) / r.build_reuse_s,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_pairpool.json\n");
+}
+
 }  // namespace
 }  // namespace mqa
 
@@ -103,10 +287,18 @@ int main() {
   if (const char* cap = std::getenv("MQA_INDEX_BENCH_MAX")) {
     max_n = std::atoi(cap);
   }
+  double scale = 1.0;
+  if (const char* s = std::getenv("MQA_BENCH_SCALE")) {
+    scale = std::atof(s);
+    if (!(scale > 0.0) || scale > 1.0) scale = 1.0;
+  }
   mqa::RunRegime("city", 0.02, 0.03, {1000, 10000, 50000}, max_n);
   // Paper velocities make most pairs valid; pool emission dominates and
   // the pool itself is quadratic-sized, so 50k is out of reach for any
   // enumeration strategy and the regime stops at 10k.
   mqa::RunRegime("paper", 0.2, 0.3, {1000, 10000}, max_n);
+  mqa::RunPoolPhase({static_cast<int>(1000 * scale),
+                     static_cast<int>(10000 * scale)},
+                    max_n);
   return 0;
 }

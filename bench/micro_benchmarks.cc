@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,24 +65,32 @@ CandidatePair RandomPair(Rng* rng) {
     p.cost = Uncertain::Fixed(c);
     p.quality = Uncertain::Fixed(q);
   }
-  p.FinalizeEffectiveQuality();
   return p;
+}
+
+PairPool RandomPool(Rng* rng, int n) {
+  PairPoolBuilder builder(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    CandidatePair p = RandomPair(rng);
+    p.worker_index = i;
+    p.task_index = i;
+    builder.Add(p);
+  }
+  return std::move(builder).Build();
 }
 
 void BM_ProbQualityGreater(benchmark::State& state) {
   Rng rng(7);
-  const CandidatePair a = RandomPair(&rng);
-  const CandidatePair b = RandomPair(&rng);
+  const PairPool pool = RandomPool(&rng, 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ProbQualityGreater(a, b));
+    benchmark::DoNotOptimize(ProbQualityGreater(pool.pair(0), pool.pair(1)));
   }
 }
 BENCHMARK(BM_ProbQualityGreater);
 
 void BM_CandidateSetBuild(benchmark::State& state) {
   Rng rng(11);
-  std::vector<CandidatePair> pool;
-  for (int i = 0; i < state.range(0); ++i) pool.push_back(RandomPair(&rng));
+  const PairPool pool = RandomPool(&rng, static_cast<int>(state.range(0)));
   for (auto _ : state) {
     CandidateSet set(pool);
     for (int32_t id = 0; id < static_cast<int32_t>(pool.size()); ++id) {

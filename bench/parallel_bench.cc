@@ -95,7 +95,7 @@ Measured MeasureAt(const ProblemInstance& instance, int threads, int reps) {
     double t0 = Now();
     const PairPool pool = BuildPairPool(instance, options);
     m.pool_s = std::min(m.pool_s, Now() - t0);
-    m.num_pairs = pool.pairs.size();
+    m.num_pairs = pool.size();
 
     t0 = Now();
     const AssignmentResult greedy =

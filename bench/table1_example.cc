@@ -4,6 +4,7 @@
 // prediction-based strategy reaches quality 8 at cost 4.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -28,9 +29,7 @@ const std::vector<PairSpec> kTableI = {
 
 PairPool MakePool(const std::vector<PairSpec>& specs,
                   const std::vector<bool>& predicted) {
-  PairPool pool;
-  pool.pairs_by_task.resize(3);
-  pool.pairs_by_worker.resize(3);
+  PairPoolBuilder builder(3, 3);
   for (size_t k = 0; k < specs.size(); ++k) {
     CandidatePair p;
     p.worker_index = specs[k].worker;
@@ -38,13 +37,9 @@ PairPool MakePool(const std::vector<PairSpec>& specs,
     p.cost = Uncertain::Fixed(specs[k].dist);
     p.quality = Uncertain::Fixed(specs[k].quality);
     p.involves_predicted = predicted[k];
-    p.FinalizeEffectiveQuality();
-    const auto id = static_cast<int32_t>(pool.pairs.size());
-    pool.pairs.push_back(p);
-    pool.pairs_by_task[static_cast<size_t>(p.task_index)].push_back(id);
-    pool.pairs_by_worker[static_cast<size_t>(p.worker_index)].push_back(id);
+    builder.Add(p);
   }
-  return pool;
+  return std::move(builder).Build();
 }
 
 struct Outcome {
@@ -56,16 +51,15 @@ Outcome Emitted(const PairPool& pool) {
   std::vector<char> wu(3, 0);
   std::vector<char> tu(3, 0);
   BudgetTracker budget(100.0, 0.5);
-  std::vector<int32_t> ids(pool.pairs.size());
+  std::vector<int32_t> ids(pool.size());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
   std::vector<int32_t> selected;
   GreedySelect(pool, ids, &wu, &tu, &budget, &selected);
   Outcome out;
   for (const int32_t id : selected) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    if (p.involves_predicted) continue;
-    out.quality += p.quality.mean();
-    out.cost += p.cost.mean();
+    if (pool.InvolvesPredicted(id)) continue;
+    out.quality += pool.QualityMean(id);
+    out.cost += pool.CostMean(id);
   }
   return out;
 }

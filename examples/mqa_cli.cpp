@@ -53,6 +53,7 @@ struct CliOptions {
   bool prediction = true;
   bool rejoin = false;
   bool csv = false;
+  bool pairpool_stats = false;
   uint64_t seed = 42;
   int threads = 1;
 };
@@ -88,7 +89,43 @@ void PrintUsage() {
       "  --q-lo --q-hi --e-lo --e-hi --v-lo --v-hi (paper ranges)\n"
       "  --worker-dist=gaussian|uniform|zipf --task-dist=...\n"
       "  --gamma=G --window=W --seed=S --threads=T\n"
-      "  --no-prediction --rejoin --csv\n");
+      "  --no-prediction --rejoin --csv\n"
+      "  --pairpool-stats (per-epoch pair-pool columns: pair count,\n"
+      "      bytes/pair, arena slabs, lazily-skipped sampling fraction)\n");
+}
+
+void PrintPoolStatsHeader() {
+  std::printf("\npair-pool per epoch (columnar, arena-backed; see "
+              "src/core/README.md):\n");
+  std::printf("%5s %12s %8s %7s %13s %10s\n", "epoch", "pairs", "B/pair",
+              "slabs", "arena_peak_B", "lazy_skip");
+}
+
+// CSV mode appends these as extra columns on the per-epoch rows instead
+// of a second table, keeping the output machine-parseable.
+void PrintPoolStatsCsvColumns() {
+  std::printf(",pool_pairs,pool_bytes,pool_arena_slabs,pool_lazy_skipped");
+}
+
+void PrintPoolStatsCsvValues(const InstanceMetrics& m) {
+  std::printf(",%lld,%lld,%lld,%.4f", static_cast<long long>(m.pool_pairs),
+              static_cast<long long>(m.pool_bytes),
+              static_cast<long long>(m.pool_arena_slabs),
+              m.pool_lazy_skipped_fraction);
+}
+
+void PrintPoolStatsRow(const InstanceMetrics& m) {
+  const double bytes_per_pair =
+      m.pool_pairs > 0
+          ? static_cast<double>(m.pool_bytes) /
+                static_cast<double>(m.pool_pairs)
+          : 0.0;
+  std::printf("%5lld %12lld %8.1f %7lld %13lld %9.1f%%\n",
+              static_cast<long long>(m.instance),
+              static_cast<long long>(m.pool_pairs), bytes_per_pair,
+              static_cast<long long>(m.pool_arena_slabs),
+              static_cast<long long>(m.pool_arena_peak_bytes),
+              100.0 * m.pool_lazy_skipped_fraction);
 }
 
 SpatialDistribution ParseDist(const std::string& s) {
@@ -113,11 +150,13 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
     std::printf(
         "epoch,time,ingested_workers,ingested_tasks,backlog_before,"
         "backlog_after,coverable,expired,assigned,quality,cost,"
-        "latency_seconds,mean_queue_wait\n");
+        "latency_seconds,mean_queue_wait");
+    if (opt.pairpool_stats) PrintPoolStatsCsvColumns();
+    std::printf("\n");
     for (const EpochStreamMetrics& e : s.per_epoch) {
       std::printf(
           "%lld,%.4f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,"
-          "%.4f\n",
+          "%.4f",
           static_cast<long long>(e.instance.instance), e.epoch_time,
           static_cast<long long>(e.ingested_workers),
           static_cast<long long>(e.ingested_tasks),
@@ -127,6 +166,8 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
           static_cast<long long>(e.expired),
           static_cast<long long>(e.instance.assigned), e.instance.quality,
           e.instance.cost, e.instance.cpu_seconds, e.mean_queue_wait);
+      if (opt.pairpool_stats) PrintPoolStatsCsvValues(e.instance);
+      std::printf("\n");
     }
     return 0;
   }
@@ -158,6 +199,12 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
       s.p50_epoch_latency, s.p99_epoch_latency, s.max_epoch_latency,
       s.p50_queue_wait, s.p99_queue_wait, s.mean_backlog,
       static_cast<long long>(s.max_backlog));
+  if (opt.pairpool_stats) {
+    PrintPoolStatsHeader();
+    for (const EpochStreamMetrics& e : s.per_epoch) {
+      PrintPoolStatsRow(e.instance);
+    }
+  }
   return 0;
 }
 
@@ -203,6 +250,8 @@ int main(int argc, char** argv) {
       opt.stream = true;
     } else if (std::strcmp(a, "--csv") == 0) {
       opt.csv = true;
+    } else if (std::strcmp(a, "--pairpool-stats") == 0) {
+      opt.pairpool_stats = true;
     } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage();
       return 0;
@@ -361,9 +410,11 @@ int main(int argc, char** argv) {
   if (opt.csv) {
     std::printf(
         "instance,workers,tasks,predicted_workers,predicted_tasks,"
-        "assigned,quality,cost,cpu_seconds,worker_pred_err,task_pred_err\n");
+        "assigned,quality,cost,cpu_seconds,worker_pred_err,task_pred_err");
+    if (opt.pairpool_stats) PrintPoolStatsCsvColumns();
+    std::printf("\n");
     for (const InstanceMetrics& m : s.per_instance) {
-      std::printf("%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+      std::printf("%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.6f",
                   static_cast<long long>(m.instance),
                   static_cast<long long>(m.workers_available),
                   static_cast<long long>(m.tasks_available),
@@ -372,6 +423,8 @@ int main(int argc, char** argv) {
                   static_cast<long long>(m.assigned), m.quality, m.cost,
                   m.cpu_seconds, m.worker_prediction_error,
                   m.task_prediction_error);
+      if (opt.pairpool_stats) PrintPoolStatsCsvValues(m);
+      std::printf("\n");
     }
     return 0;
   }
@@ -404,6 +457,10 @@ int main(int argc, char** argv) {
     std::printf("prediction error: workers %.1f%%, tasks %.1f%%\n",
                 100.0 * s.avg_worker_prediction_error,
                 100.0 * s.avg_task_prediction_error);
+  }
+  if (opt.pairpool_stats) {
+    PrintPoolStatsHeader();
+    for (const InstanceMetrics& m : s.per_instance) PrintPoolStatsRow(m);
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 // cost models.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "core/budget.h"
@@ -24,6 +25,8 @@ using mqa::BudgetTracker;
 using mqa::CandidatePair;
 using mqa::GreedySelect;
 using mqa::PairPool;
+using mqa::PairPoolBuilder;
+using mqa::PairRef;
 using mqa::Uncertain;
 
 struct PairSpec {
@@ -40,9 +43,7 @@ const std::vector<PairSpec> kTableI = {
 
 PairPool MakePool(const std::vector<PairSpec>& specs,
                   const std::vector<bool>& involves_predicted) {
-  PairPool pool;
-  pool.pairs_by_task.resize(3);
-  pool.pairs_by_worker.resize(3);
+  PairPoolBuilder builder(3, 3);
   for (size_t k = 0; k < specs.size(); ++k) {
     CandidatePair p;
     p.worker_index = specs[k].worker;
@@ -50,13 +51,9 @@ PairPool MakePool(const std::vector<PairSpec>& specs,
     p.cost = Uncertain::Fixed(specs[k].cost);
     p.quality = Uncertain::Fixed(specs[k].quality);
     p.involves_predicted = involves_predicted[k];
-    p.FinalizeEffectiveQuality();
-    const auto id = static_cast<int32_t>(pool.pairs.size());
-    pool.pairs.push_back(p);
-    pool.pairs_by_task[static_cast<size_t>(p.task_index)].push_back(id);
-    pool.pairs_by_worker[static_cast<size_t>(p.worker_index)].push_back(id);
+    builder.Add(p);
   }
-  return pool;
+  return std::move(builder).Build();
 }
 
 struct Outcome {
@@ -72,24 +69,24 @@ Outcome RunRound(const PairPool& pool, const char* label) {
   BudgetTracker budget(/*budget=*/100.0, /*delta=*/0.5);
   std::vector<int32_t> selected;
   GreedySelect(pool, [&] {
-    std::vector<int32_t> ids(pool.pairs.size());
+    std::vector<int32_t> ids(pool.size());
     for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
     return ids;
   }(), &worker_used, &task_used, &budget, &selected);
 
   Outcome out;
   for (const int32_t id : selected) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    if (p.involves_predicted) {
+    const PairRef p = pool.pair(id);
+    if (p.involves_predicted()) {
       std::printf("  %s: reserve  <w%d, t%d>  (predicted; not emitted)\n",
-                  label, p.worker_index + 1, p.task_index + 1);
+                  label, p.worker_index() + 1, p.task_index() + 1);
       continue;
     }
     std::printf("  %s: assign   <w%d, t%d>  cost=%.0f quality=%.0f\n", label,
-                p.worker_index + 1, p.task_index + 1, p.cost.mean(),
-                p.quality.mean());
-    out.quality += p.quality.mean();
-    out.cost += p.cost.mean();
+                p.worker_index() + 1, p.task_index() + 1, p.cost_mean(),
+                p.quality_mean());
+    out.quality += p.quality_mean();
+    out.cost += p.cost_mean();
   }
   return out;
 }

@@ -18,32 +18,33 @@ BudgetTracker::BudgetTracker(double budget, double delta)
   MQA_CHECK(delta >= 0.0 && delta < 1.0) << "delta must lie in [0, 1)";
 }
 
-bool BudgetTracker::QuickReject(const CandidatePair& pair) const {
-  const double spent =
-      pair.involves_predicted ? future_lb_spent_ : current_spent_;
-  return pair.cost.lb() > budget_ - spent + kEps;
+bool BudgetTracker::QuickRejectCost(double cost_lb,
+                                    bool involves_predicted) const {
+  const double spent = involves_predicted ? future_lb_spent_ : current_spent_;
+  return cost_lb > budget_ - spent + kEps;
 }
 
-bool BudgetTracker::Admits(const CandidatePair& pair) const {
-  if (!pair.involves_predicted) {
-    return current_spent_ + pair.cost.mean() <= budget_ + kEps;
+bool BudgetTracker::AdmitsCost(double cost_mean, double cost_variance,
+                               bool involves_predicted) const {
+  if (!involves_predicted) {
+    return current_spent_ + cost_mean <= budget_ + kEps;
   }
   const double headroom = budget_ - future_lb_spent_;
-  const double var = pair.cost.variance();
-  if (var <= 0.0) {
-    return pair.cost.mean() <= headroom + kEps;
+  if (cost_variance <= 0.0) {
+    return cost_mean <= headroom + kEps;
   }
   // Eq. 9: rule the pair out when Pr{sum lb + c̃ <= B} <= delta.
   const double pr =
-      StdNormalCdf((headroom - pair.cost.mean()) / std::sqrt(var));
+      StdNormalCdf((headroom - cost_mean) / std::sqrt(cost_variance));
   return pr > delta_;
 }
 
-void BudgetTracker::Commit(const CandidatePair& pair) {
-  if (!pair.involves_predicted) {
-    current_spent_ += pair.cost.mean();
+void BudgetTracker::CommitCost(double cost_mean, double cost_lb,
+                               bool involves_predicted) {
+  if (!involves_predicted) {
+    current_spent_ += cost_mean;
   } else {
-    future_lb_spent_ += pair.cost.lb();
+    future_lb_spent_ += cost_lb;
   }
 }
 

@@ -4,11 +4,10 @@
 
 namespace mqa {
 
-CandidateSet::CandidateSet(const std::vector<CandidatePair>& pool)
-    : pool_(pool) {}
+CandidateSet::CandidateSet(const PairPool& pool) : pool_(pool) {}
 
 bool CandidateSet::Offer(int32_t pair_id) {
-  const CandidatePair& pair = pool_[static_cast<size_t>(pair_id)];
+  const PairRef pair = pool_.pair(pair_id);
 
   // Fast path: the cheapest candidate seen so far is the most likely
   // pruner. GreedySelect offers pairs in descending quality order, so
@@ -16,8 +15,7 @@ bool CandidateSet::Offer(int32_t pair_id) {
   // this single check rejects it in O(1), making candidate-set
   // construction near-linear overall.
   if (min_cost_id_ >= 0) {
-    const CandidatePair& cheapest =
-        pool_[static_cast<size_t>(min_cost_id_)];
+    const PairRef cheapest = pool_.pair(min_cost_id_);
     if (Dominates(cheapest, pair) ||
         WeaklyDominatesForPruning(cheapest, pair)) {
       return false;
@@ -28,7 +26,7 @@ bool CandidateSet::Offer(int32_t pair_id) {
   // (Lemma 4.1 bound dominance or the weak Lemma 4.2 variant; see
   // comparators.h).
   for (const int32_t cand_id : ids_) {
-    const CandidatePair& cand = pool_[static_cast<size_t>(cand_id)];
+    const PairRef cand = pool_.pair(cand_id);
     if (Dominates(cand, pair) || WeaklyDominatesForPruning(cand, pair)) {
       return false;
     }
@@ -37,7 +35,7 @@ bool CandidateSet::Offer(int32_t pair_id) {
   // Line 10: the newcomer evicts candidates it prunes.
   size_t kept = 0;
   for (size_t k = 0; k < ids_.size(); ++k) {
-    const CandidatePair& cand = pool_[static_cast<size_t>(ids_[k])];
+    const PairRef cand = pool_.pair(ids_[k]);
     if (Dominates(pair, cand) || WeaklyDominatesForPruning(pair, cand)) {
       continue;  // evicted
     }
@@ -49,8 +47,7 @@ bool CandidateSet::Offer(int32_t pair_id) {
   // Refresh the cheapest-candidate cache (eviction may have removed it).
   min_cost_id_ = ids_[0];
   for (const int32_t id : ids_) {
-    if (pool_[static_cast<size_t>(id)].cost.mean() <
-        pool_[static_cast<size_t>(min_cost_id_)].cost.mean()) {
+    if (pool_.CostMean(id) < pool_.CostMean(min_cost_id_)) {
       min_cost_id_ = id;
     }
   }

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "model/candidate_pair.h"
+#include "core/pair_pool.h"
 
 namespace mqa {
 
@@ -17,8 +17,8 @@ namespace mqa {
 /// candidate prunes it, and on entry it evicts the candidates it prunes.
 class CandidateSet {
  public:
-  /// `pool` is the backing pair array; the set stores pair ids into it.
-  explicit CandidateSet(const std::vector<CandidatePair>& pool);
+  /// `pool` is the backing columnar pool; the set stores pair ids into it.
+  explicit CandidateSet(const PairPool& pool);
 
   /// Offers pair `pair_id` to the set. Returns true when the pair was
   /// admitted (it may still be evicted by a later, better pair).
@@ -35,7 +35,7 @@ class CandidateSet {
   }
 
  private:
-  const std::vector<CandidatePair>& pool_;
+  const PairPool& pool_;
   std::vector<int32_t> ids_;
 
   // Candidate with the lowest expected cost — the O(1) fast-path pruner.

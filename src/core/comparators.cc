@@ -6,9 +6,12 @@
 
 namespace mqa {
 
-double ProbGreater(const Uncertain& a, const Uncertain& b) {
-  const double var_sum = a.variance() + b.variance();
-  const double diff = a.mean() - b.mean();
+namespace {
+
+double ProbGreaterMoments(double mean_a, double var_a, double mean_b,
+                          double var_b) {
+  const double var_sum = var_a + var_b;
+  const double diff = mean_a - mean_b;
   if (var_sum <= 0.0) {
     if (diff > 0.0) return 1.0;
     if (diff < 0.0) return 0.0;
@@ -18,9 +21,10 @@ double ProbGreater(const Uncertain& a, const Uncertain& b) {
   return 1.0 - StdNormalCdf(-diff / std::sqrt(var_sum));
 }
 
-double ProbLessEq(const Uncertain& a, const Uncertain& b) {
-  const double var_sum = a.variance() + b.variance();
-  const double diff = a.mean() - b.mean();
+double ProbLessEqMoments(double mean_a, double var_a, double mean_b,
+                         double var_b) {
+  const double var_sum = var_a + var_b;
+  const double diff = mean_a - mean_b;
   if (var_sum <= 0.0) {
     if (diff < 0.0) return 1.0;
     if (diff > 0.0) return 0.0;
@@ -29,17 +33,44 @@ double ProbLessEq(const Uncertain& a, const Uncertain& b) {
   return StdNormalCdf(-diff / std::sqrt(var_sum));
 }
 
-double ProbQualityGreater(const CandidatePair& a, const CandidatePair& b) {
-  return ProbGreater(a.EffectiveQuality(), b.EffectiveQuality());
+// Accessor shims so each predicate has exactly one implementation (the
+// templates below) shared by the production PairRef path and the
+// materialized CandidatePair path — a rule tweak cannot diverge between
+// them. Quality is fetched only on the branches that read it: for a
+// PairRef that is what keeps cost-only comparisons (and cost-bound
+// early-outs) from materializing the pair's lazy Case 1-3 distribution.
+double CostMeanOf(const PairRef& p) { return p.cost_mean(); }
+double CostVarOf(const PairRef& p) { return p.cost_variance(); }
+double CostLbOf(const PairRef& p) { return p.cost_lb(); }
+double CostUbOf(const PairRef& p) { return p.cost_ub(); }
+Uncertain QualityOf(const PairRef& p) { return p.EffectiveQuality(); }
+
+double CostMeanOf(const CandidatePair& p) { return p.cost.mean(); }
+double CostVarOf(const CandidatePair& p) { return p.cost.variance(); }
+double CostLbOf(const CandidatePair& p) { return p.cost.lb(); }
+double CostUbOf(const CandidatePair& p) { return p.cost.ub(); }
+const Uncertain& QualityOf(const CandidatePair& p) {
+  return p.EffectiveQuality();
 }
 
-double ProbCostLessEq(const CandidatePair& a, const CandidatePair& b) {
-  return ProbLessEq(a.cost, b.cost);
+template <typename P>
+double ProbQualityGreaterImpl(const P& a, const P& b) {
+  const Uncertain qa = QualityOf(a);
+  const Uncertain qb = QualityOf(b);
+  return ProbGreaterMoments(qa.mean(), qa.variance(), qb.mean(),
+                            qb.variance());
 }
 
-bool Dominates(const CandidatePair& a, const CandidatePair& b) {
-  return a.cost.ub() < b.cost.lb() &&
-         a.EffectiveQuality().lb() > b.EffectiveQuality().ub();
+template <typename P>
+double ProbCostLessEqImpl(const P& a, const P& b) {
+  return ProbLessEqMoments(CostMeanOf(a), CostVarOf(a), CostMeanOf(b),
+                           CostVarOf(b));
+}
+
+template <typename P>
+bool DominatesImpl(const P& a, const P& b) {
+  if (!(CostUbOf(a) < CostLbOf(b))) return false;
+  return QualityOf(a).lb() > QualityOf(b).ub();
 }
 
 // For the normal/CLT approximation the comparison probability crosses 0.5
@@ -47,24 +78,76 @@ bool Dominates(const CandidatePair& a, const CandidatePair& b) {
 // so Pr > 0.5 <=> E(A) > E(B). The dominance predicates below therefore
 // reduce to mean comparisons — no CDF evaluations in the pruning hot loop.
 
-bool ProbabilisticallyDominates(const CandidatePair& a,
-                                const CandidatePair& b) {
-  return a.EffectiveQuality().mean() > b.EffectiveQuality().mean() &&
-         a.cost.mean() < b.cost.mean();
+template <typename P>
+bool ProbabilisticallyDominatesImpl(const P& a, const P& b) {
+  if (!(CostMeanOf(a) < CostMeanOf(b))) return false;
+  return QualityOf(a).mean() > QualityOf(b).mean();
 }
 
-bool WeaklyDominatesForPruning(const CandidatePair& a,
-                               const CandidatePair& b) {
-  const double qa = a.EffectiveQuality().mean();
-  const double qb = b.EffectiveQuality().mean();
-  const double ca = a.cost.mean();
-  const double cb = b.cost.mean();
+template <typename P>
+bool WeaklyDominatesForPruningImpl(const P& a, const P& b) {
+  const double qa = QualityOf(a).mean();
+  const double qb = QualityOf(b).mean();
+  const double ca = CostMeanOf(a);
+  const double cb = CostMeanOf(b);
   if (qa < qb || ca > cb) return false;
   if (qa > qb || ca < cb) return true;
   // Exact tie on both means: prune only true moment duplicates (the kept
   // representative is interchangeable with the newcomer).
-  return a.cost.variance() == b.cost.variance() &&
-         a.EffectiveQuality().variance() == b.EffectiveQuality().variance();
+  return CostVarOf(a) == CostVarOf(b) &&
+         QualityOf(a).variance() == QualityOf(b).variance();
+}
+
+}  // namespace
+
+double ProbGreater(const Uncertain& a, const Uncertain& b) {
+  return ProbGreaterMoments(a.mean(), a.variance(), b.mean(), b.variance());
+}
+
+double ProbLessEq(const Uncertain& a, const Uncertain& b) {
+  return ProbLessEqMoments(a.mean(), a.variance(), b.mean(), b.variance());
+}
+
+double ProbQualityGreater(const PairRef& a, const PairRef& b) {
+  return ProbQualityGreaterImpl(a, b);
+}
+
+double ProbQualityGreater(const CandidatePair& a, const CandidatePair& b) {
+  return ProbQualityGreaterImpl(a, b);
+}
+
+double ProbCostLessEq(const PairRef& a, const PairRef& b) {
+  return ProbCostLessEqImpl(a, b);
+}
+
+double ProbCostLessEq(const CandidatePair& a, const CandidatePair& b) {
+  return ProbCostLessEqImpl(a, b);
+}
+
+bool Dominates(const PairRef& a, const PairRef& b) {
+  return DominatesImpl(a, b);
+}
+
+bool Dominates(const CandidatePair& a, const CandidatePair& b) {
+  return DominatesImpl(a, b);
+}
+
+bool ProbabilisticallyDominates(const PairRef& a, const PairRef& b) {
+  return ProbabilisticallyDominatesImpl(a, b);
+}
+
+bool ProbabilisticallyDominates(const CandidatePair& a,
+                                const CandidatePair& b) {
+  return ProbabilisticallyDominatesImpl(a, b);
+}
+
+bool WeaklyDominatesForPruning(const PairRef& a, const PairRef& b) {
+  return WeaklyDominatesForPruningImpl(a, b);
+}
+
+bool WeaklyDominatesForPruning(const CandidatePair& a,
+                               const CandidatePair& b) {
+  return WeaklyDominatesForPruningImpl(a, b);
 }
 
 }  // namespace mqa

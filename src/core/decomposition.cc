@@ -17,7 +17,7 @@ std::vector<Subproblem> DecomposeTasks(const ProblemInstance& instance,
   std::vector<int32_t> remaining;
   remaining.reserve(task_indices.size());
   for (const int32_t j : task_indices) {
-    if (!pool.pairs_by_task[static_cast<size_t>(j)].empty()) {
+    if (!pool.PairsByTask(j).empty()) {
       remaining.push_back(j);
     }
   }
@@ -66,7 +66,7 @@ std::vector<Subproblem> DecomposeTasks(const ProblemInstance& instance,
       ++num_taken;
       const int32_t j = remaining[pos];
       sub.task_indices.push_back(j);
-      const auto& ids = pool.pairs_by_task[static_cast<size_t>(j)];
+      const PairIdSpan ids = pool.PairsByTask(j);
       sub.pair_ids.insert(sub.pair_ids.end(), ids.begin(), ids.end());
     }
     subproblems.push_back(std::move(sub));

@@ -48,8 +48,7 @@ bool WithinBudgetUpperBound(const PairPool& pool,
   double current_ub = 0.0;
   double future_ub = 0.0;
   for (const int32_t id : selected) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    (p.involves_predicted ? future_ub : current_ub) += p.cost.ub();
+    (pool.InvolvesPredicted(id) ? future_ub : current_ub) += pool.CostUb(id);
   }
   constexpr double kEps = 1e-9;
   return current_ub <= budget + kEps && future_ub <= budget + kEps;
@@ -124,10 +123,10 @@ AssignmentResult RunDivideConquer(const ProblemInstance& instance,
 
   Subproblem root;
   for (size_t j = 0; j < instance.tasks().size(); ++j) {
-    if (pool.pairs_by_task[j].empty()) continue;
+    const PairIdSpan ids = pool.PairsByTask(static_cast<int32_t>(j));
+    if (ids.empty()) continue;
     root.task_indices.push_back(static_cast<int32_t>(j));
-    root.pair_ids.insert(root.pair_ids.end(), pool.pairs_by_task[j].begin(),
-                         pool.pairs_by_task[j].end());
+    root.pair_ids.insert(root.pair_ids.end(), ids.begin(), ids.end());
   }
 
   // Same precedence as BuildPairPool: the assigner's own pool, then the

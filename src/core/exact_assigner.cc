@@ -48,21 +48,22 @@ void Search(SearchState* s, size_t task_index) {
   Search(s, task_index + 1);
 
   // Option 2: assign any free, affordable valid worker.
-  for (const int32_t id : s->pool->pairs_by_task[task_index]) {
-    const CandidatePair& pair = s->pool->pairs[static_cast<size_t>(id)];
-    if (s->worker_used[static_cast<size_t>(pair.worker_index)]) continue;
-    const double c = pair.cost.mean();
+  for (const int32_t id : s->pool->PairsByTask(static_cast<int32_t>(task_index))) {
+    const int32_t worker = s->pool->WorkerIndex(id);
+    if (s->worker_used[static_cast<size_t>(worker)]) continue;
+    const double c = s->pool->CostMean(id);
     if (s->cost + c > s->instance->budget() + 1e-9) continue;
+    const double q = s->pool->QualityMean(id);
 
-    s->worker_used[static_cast<size_t>(pair.worker_index)] = 1;
+    s->worker_used[static_cast<size_t>(worker)] = 1;
     s->chosen.push_back(id);
     s->cost += c;
-    s->quality += pair.quality.mean();
+    s->quality += q;
     Search(s, task_index + 1);
-    s->quality -= pair.quality.mean();
+    s->quality -= q;
     s->cost -= c;
     s->chosen.pop_back();
-    s->worker_used[static_cast<size_t>(pair.worker_index)] = 0;
+    s->worker_used[static_cast<size_t>(worker)] = 0;
   }
 }
 
@@ -91,9 +92,8 @@ Result<AssignmentResult> RunExact(const ProblemInstance& instance,
   state.best_remaining.assign(num_tasks + 1, 0.0);
   for (size_t j = num_tasks; j-- > 0;) {
     double best_q = 0.0;
-    for (const int32_t id : pool.pairs_by_task[j]) {
-      best_q = std::max(best_q,
-                        pool.pairs[static_cast<size_t>(id)].quality.mean());
+    for (const int32_t id : pool.PairsByTask(static_cast<int32_t>(j))) {
+      best_q = std::max(best_q, pool.QualityMean(id));
     }
     state.best_remaining[j] = state.best_remaining[j + 1] + best_q;
   }
@@ -102,8 +102,7 @@ Result<AssignmentResult> RunExact(const ProblemInstance& instance,
 
   AssignmentResult result;
   for (const int32_t id : state.best_chosen) {
-    const CandidatePair& pair = pool.pairs[static_cast<size_t>(id)];
-    result.pairs.push_back({pair.worker_index, pair.task_index});
+    result.pairs.push_back({pool.WorkerIndex(id), pool.TaskIndex(id)});
   }
   result.total_quality = state.best_quality;
   result.total_cost = state.best_cost;

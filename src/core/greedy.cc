@@ -16,27 +16,26 @@ void GreedySelect(const PairPool& pool, const std::vector<int32_t>& pair_ids,
   // offers on their first dominance check, which keeps each greedy
   // iteration close to linear in |active|.
   std::sort(active.begin(), active.end(), [&pool](int32_t a, int32_t b) {
-    const CandidatePair& pa = pool.pairs[static_cast<size_t>(a)];
-    const CandidatePair& pb = pool.pairs[static_cast<size_t>(b)];
-    const double qa = pa.EffectiveQuality().mean();
-    const double qb = pb.EffectiveQuality().mean();
+    const double qa = pool.QualityMean(a);
+    const double qb = pool.QualityMean(b);
     if (qa != qb) return qa > qb;
-    const double ca = pa.cost.mean();
-    const double cb = pb.cost.mean();
+    const double ca = pool.CostMean(a);
+    const double cb = pool.CostMean(b);
     if (ca != cb) return ca < cb;
     return a < b;
   });
-  CandidateSet sp(pool.pairs);
+  CandidateSet sp(pool);
 
   while (!active.empty()) {
     // Compact: drop pairs whose endpoints were consumed or whose
     // lower-bound cost can no longer fit (the budget only shrinks, so a
-    // quick-rejected pair stays rejected).
+    // quick-rejected pair stays rejected). Reads only indices and cost
+    // bounds — a pair that dies here never materializes its quality.
     size_t kept = 0;
     for (size_t k = 0; k < active.size(); ++k) {
-      const CandidatePair& pair = pool.pairs[static_cast<size_t>(active[k])];
-      if ((*worker_used)[static_cast<size_t>(pair.worker_index)] ||
-          (*task_used)[static_cast<size_t>(pair.task_index)] ||
+      const PairRef pair = pool.pair(active[k]);
+      if ((*worker_used)[static_cast<size_t>(pair.worker_index())] ||
+          (*task_used)[static_cast<size_t>(pair.task_index())] ||
           budget->QuickReject(pair)) {
         continue;
       }
@@ -50,13 +49,13 @@ void GreedySelect(const PairPool& pool, const std::vector<int32_t>& pair_ids,
     for (const int32_t id : active) sp.Offer(id);
 
     // Lines 11-12: Eq. 9 + Eq. 10 selection.
-    const int32_t best = SelectBestPair(pool.pairs, sp.candidates(), *budget);
+    const int32_t best = SelectBestPair(pool, sp.candidates(), *budget);
     if (best < 0) break;
 
-    const CandidatePair& chosen = pool.pairs[static_cast<size_t>(best)];
+    const PairRef chosen = pool.pair(best);
     budget->Commit(chosen);
-    (*worker_used)[static_cast<size_t>(chosen.worker_index)] = 1;
-    (*task_used)[static_cast<size_t>(chosen.task_index)] = 1;
+    (*worker_used)[static_cast<size_t>(chosen.worker_index())] = 1;
+    (*task_used)[static_cast<size_t>(chosen.task_index())] = 1;
     selected->push_back(best);
   }
 }
@@ -67,11 +66,11 @@ AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
   (void)instance;
   AssignmentResult result;
   for (const int32_t id : selected) {
-    const CandidatePair& pair = pool.pairs[static_cast<size_t>(id)];
-    if (pair.involves_predicted) continue;  // line 14
-    result.pairs.push_back({pair.worker_index, pair.task_index});
-    result.total_cost += pair.cost.mean();
-    result.total_quality += pair.quality.mean();
+    const PairRef pair = pool.pair(id);
+    if (pair.involves_predicted()) continue;  // line 14
+    result.pairs.push_back({pair.worker_index(), pair.task_index()});
+    result.total_cost += pair.cost_mean();
+    result.total_quality += pair.quality_mean();
   }
   return result;
 }
@@ -85,7 +84,7 @@ AssignmentResult RunGreedy(const ProblemInstance& instance, double delta,
   std::vector<char> task_used(instance.tasks().size(), 0);
   BudgetTracker budget(instance.budget(), delta);
 
-  std::vector<int32_t> all_ids(pool.pairs.size());
+  std::vector<int32_t> all_ids(pool.size());
   for (size_t i = 0; i < all_ids.size(); ++i) {
     all_ids[i] = static_cast<int32_t>(i);
   }

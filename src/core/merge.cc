@@ -12,13 +12,13 @@ namespace mqa {
 namespace {
 
 // True when pair `a` should win a head-to-head conflict against `b`.
-bool PairBeats(const CandidatePair& a, const CandidatePair& b) {
+bool PairBeats(const PairRef& a, const PairRef& b) {
   if (Dominates(a, b)) return true;
   if (Dominates(b, a)) return false;
   const double pr = ProbQualityGreater(a, b);
   if (pr > 0.5) return true;
   if (pr < 0.5) return false;
-  return a.cost.mean() <= b.cost.mean();
+  return a.cost_mean() <= b.cost_mean();
 }
 
 // Best replacement pair for `task` whose worker is not in `used_workers`;
@@ -27,18 +27,16 @@ int32_t BestAvailablePairForTask(
     const PairPool& pool, int32_t task,
     const std::unordered_set<int32_t>& used_workers) {
   int32_t best = -1;
-  for (const int32_t id : pool.pairs_by_task[static_cast<size_t>(task)]) {
-    const CandidatePair& cand = pool.pairs[static_cast<size_t>(id)];
-    if (used_workers.count(cand.worker_index) > 0) continue;
+  for (const int32_t id : pool.PairsByTask(task)) {
+    if (used_workers.count(pool.WorkerIndex(id)) > 0) continue;
     if (best < 0) {
       best = id;
       continue;
     }
-    const CandidatePair& cur = pool.pairs[static_cast<size_t>(best)];
-    const double q_cand = cand.EffectiveQuality().mean();
-    const double q_cur = cur.EffectiveQuality().mean();
+    const double q_cand = pool.QualityMean(id);
+    const double q_cur = pool.QualityMean(best);
     if (q_cand > q_cur ||
-        (q_cand == q_cur && cand.cost.mean() < cur.cost.mean())) {
+        (q_cand == q_cur && pool.CostMean(id) < pool.CostMean(best))) {
       best = id;
     }
   }
@@ -53,32 +51,27 @@ void MergeResults(const PairPool& pool, std::vector<int32_t>* merged,
   std::unordered_map<int32_t, size_t> merged_by_worker;
   std::unordered_set<int32_t> used_workers;
   for (size_t pos = 0; pos < merged->size(); ++pos) {
-    const CandidatePair& p =
-        pool.pairs[static_cast<size_t>((*merged)[pos])];
-    merged_by_worker[p.worker_index] = pos;
-    used_workers.insert(p.worker_index);
+    const int32_t worker = pool.WorkerIndex((*merged)[pos]);
+    merged_by_worker[worker] = pos;
+    used_workers.insert(worker);
   }
   std::vector<int32_t> incoming_mut = incoming;
   for (const int32_t id : incoming_mut) {
-    used_workers.insert(pool.pairs[static_cast<size_t>(id)].worker_index);
+    used_workers.insert(pool.WorkerIndex(id));
   }
 
   // Conflicting workers, most expensive incoming pair first (Fig. 8
   // line 3).
   std::vector<size_t> conflict_positions;
   for (size_t pos = 0; pos < incoming_mut.size(); ++pos) {
-    const CandidatePair& p =
-        pool.pairs[static_cast<size_t>(incoming_mut[pos])];
-    if (merged_by_worker.count(p.worker_index) > 0) {
+    if (merged_by_worker.count(pool.WorkerIndex(incoming_mut[pos])) > 0) {
       conflict_positions.push_back(pos);
     }
   }
   std::sort(conflict_positions.begin(), conflict_positions.end(),
             [&](size_t a, size_t b) {
-              const double ca =
-                  pool.pairs[static_cast<size_t>(incoming_mut[a])].cost.mean();
-              const double cb =
-                  pool.pairs[static_cast<size_t>(incoming_mut[b])].cost.mean();
+              const double ca = pool.CostMean(incoming_mut[a]);
+              const double cb = pool.CostMean(incoming_mut[b]);
               if (ca != cb) return ca > cb;
               return a < b;
             });
@@ -86,24 +79,22 @@ void MergeResults(const PairPool& pool, std::vector<int32_t>* merged,
   std::vector<char> drop_incoming(incoming_mut.size(), 0);
   for (const size_t pos : conflict_positions) {
     const int32_t incoming_id = incoming_mut[pos];
-    const CandidatePair& pair_s =
-        pool.pairs[static_cast<size_t>(incoming_id)];
-    const auto it = merged_by_worker.find(pair_s.worker_index);
+    const PairRef pair_s = pool.pair(incoming_id);
+    const auto it = merged_by_worker.find(pair_s.worker_index());
     MQA_CHECK(it != merged_by_worker.end()) << "conflict disappeared";
     const size_t merged_pos = it->second;
     const int32_t merged_id = (*merged)[merged_pos];
-    const CandidatePair& pair_m = pool.pairs[static_cast<size_t>(merged_id)];
+    const PairRef pair_m = pool.pair(merged_id);
 
     if (PairBeats(pair_s, pair_m)) {
       // Incoming wins: reassign the merged pair's task to another worker.
       const int32_t repl =
-          BestAvailablePairForTask(pool, pair_m.task_index, used_workers);
+          BestAvailablePairForTask(pool, pair_m.task_index(), used_workers);
       merged_by_worker.erase(it);
       if (repl >= 0) {
-        const CandidatePair& r = pool.pairs[static_cast<size_t>(repl)];
         (*merged)[merged_pos] = repl;
-        merged_by_worker[r.worker_index] = merged_pos;
-        used_workers.insert(r.worker_index);
+        merged_by_worker[pool.WorkerIndex(repl)] = merged_pos;
+        used_workers.insert(pool.WorkerIndex(repl));
       } else {
         // No replacement: the task goes unassigned this instance.
         (*merged)[merged_pos] = -1;
@@ -111,11 +102,10 @@ void MergeResults(const PairPool& pool, std::vector<int32_t>* merged,
     } else {
       // Merged wins: reassign the incoming pair's task.
       const int32_t repl =
-          BestAvailablePairForTask(pool, pair_s.task_index, used_workers);
+          BestAvailablePairForTask(pool, pair_s.task_index(), used_workers);
       if (repl >= 0) {
-        const CandidatePair& r = pool.pairs[static_cast<size_t>(repl)];
         incoming_mut[pos] = repl;
-        used_workers.insert(r.worker_index);
+        used_workers.insert(pool.WorkerIndex(repl));
       } else {
         drop_incoming[pos] = 1;
       }

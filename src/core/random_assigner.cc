@@ -15,7 +15,7 @@ AssignmentResult RunRandom(const ProblemInstance& instance, double delta,
   PairPoolOptions options = pool_options;
   options.include_predicted = true;
   const PairPool pool = BuildPairPool(instance, options);
-  std::vector<int32_t> order(pool.pairs.size());
+  std::vector<int32_t> order(pool.size());
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);
   std::shuffle(order.begin(), order.end(), rng.engine());
@@ -24,17 +24,19 @@ AssignmentResult RunRandom(const ProblemInstance& instance, double delta,
   std::vector<char> task_used(instance.tasks().size(), 0);
   BudgetTracker budget(instance.budget(), delta);
 
+  // Touches only indices and cost moments — a RANDOM run never
+  // materializes any predicted-pair statistics.
   std::vector<int32_t> selected;
   for (const int32_t id : order) {
-    const CandidatePair& pair = pool.pairs[static_cast<size_t>(id)];
-    if (worker_used[static_cast<size_t>(pair.worker_index)] ||
-        task_used[static_cast<size_t>(pair.task_index)]) {
+    const PairRef pair = pool.pair(id);
+    if (worker_used[static_cast<size_t>(pair.worker_index())] ||
+        task_used[static_cast<size_t>(pair.task_index())]) {
       continue;
     }
     if (!budget.Admits(pair)) continue;
     budget.Commit(pair);
-    worker_used[static_cast<size_t>(pair.worker_index)] = 1;
-    task_used[static_cast<size_t>(pair.task_index)] = 1;
+    worker_used[static_cast<size_t>(pair.worker_index())] = 1;
+    task_used[static_cast<size_t>(pair.task_index())] = 1;
     selected.push_back(id);
   }
   return EmitCurrentPairs(instance, pool, selected);

@@ -8,14 +8,14 @@
 
 namespace mqa {
 
-int32_t SelectBestPair(const std::vector<CandidatePair>& pool,
+int32_t SelectBestPair(const PairPool& pool,
                        const std::vector<int32_t>& candidate_ids,
                        const BudgetTracker& budget) {
   // Eq. 9 budget filter.
   std::vector<int32_t> admissible;
   admissible.reserve(candidate_ids.size());
   for (const int32_t id : candidate_ids) {
-    if (budget.Admits(pool[static_cast<size_t>(id)])) {
+    if (budget.Admits(pool.pair(id))) {
       admissible.push_back(id);
     }
   }
@@ -34,10 +34,8 @@ int32_t SelectBestPair(const std::vector<CandidatePair>& pool,
         admissible.begin(),
         admissible.begin() + static_cast<long>(kMaxEq10Candidates),
         admissible.end(), [&pool](int32_t a, int32_t b) {
-          const double qa =
-              pool[static_cast<size_t>(a)].EffectiveQuality().mean();
-          const double qb =
-              pool[static_cast<size_t>(b)].EffectiveQuality().mean();
+          const double qa = pool.QualityMean(a);
+          const double qb = pool.QualityMean(b);
           if (qa != qb) return qa > qb;
           return a < b;
         });
@@ -49,19 +47,18 @@ int32_t SelectBestPair(const std::vector<CandidatePair>& pool,
   double best_score = -std::numeric_limits<double>::infinity();
   double best_cost = std::numeric_limits<double>::infinity();
   for (const int32_t id : admissible) {
-    const CandidatePair& pair = pool[static_cast<size_t>(id)];
+    const PairRef pair = pool.pair(id);
     double log_score = 0.0;
     for (const int32_t other_id : admissible) {
       if (other_id == id) continue;
-      const double pr =
-          ProbQualityGreater(pair, pool[static_cast<size_t>(other_id)]);
+      const double pr = ProbQualityGreater(pair, pool.pair(other_id));
       if (pr <= 0.0) {
         log_score = -std::numeric_limits<double>::infinity();
         break;
       }
       log_score += std::log(pr);
     }
-    const double cost = pair.cost.mean();
+    const double cost = pair.cost_mean();
     const bool better =
         log_score > best_score ||
         (log_score == best_score &&

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/budget.h"
-#include "model/candidate_pair.h"
+#include "core/pair_pool.h"
 
 namespace mqa {
 
@@ -19,7 +19,7 @@ namespace mqa {
 ///   3. ties break toward the lower expected traveling cost, then the
 ///      lower pair id (determinism).
 /// Returns the chosen pair id, or -1 when no candidate is admissible.
-int32_t SelectBestPair(const std::vector<CandidatePair>& pool,
+int32_t SelectBestPair(const PairPool& pool,
                        const std::vector<int32_t>& candidate_ids,
                        const BudgetTracker& budget);
 

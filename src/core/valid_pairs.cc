@@ -5,10 +5,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/pair_arena.h"
 #include "exec/region_sharder.h"
 #include "exec/thread_pool.h"
 #include "index/candidate_scan.h"
-#include "prediction/pair_stats.h"
 #include "quality/quality_model.h"
 #include "stats/distance_stats.h"
 
@@ -25,14 +25,22 @@ struct Candidate {
   double score = 0.0;
 };
 
+/// Worker i's candidates, resolved to a span over an arena buffer.
+struct WorkerCandidates {
+  const Candidate* data = nullptr;
+  size_t count = 0;
+};
+
 /// Pass 1 of the builder: worker `i`'s CanReach-surviving candidates in
 /// ascending task order, scoring the current-current ones. Pure given
 /// (instance, index) — safe to run for different workers concurrently.
+/// Appends to `out` (any push_back(Candidate) container).
+template <typename CandidateSink>
 void CollectCandidates(const ProblemInstance& instance,
                        const QualityModel& model, const SpatialIndex& index,
                        size_t i, double max_deadline, size_t num_tasks,
                        std::vector<std::pair<int32_t, double>>* scratch,
-                       std::vector<Candidate>* out) {
+                       CandidateSink* out) {
   const Worker& w = instance.workers()[i];
   ForEachReachableCandidate(index, w, max_deadline, num_tasks, scratch,
                             [&](int32_t jj, double min_dist) {
@@ -46,66 +54,66 @@ void CollectCandidates(const ProblemInstance& instance,
   });
 }
 
-/// Pass 2: materializes the pair for worker `i` and candidate `c`.
-/// Pure given (instance, stats) — byte-identical regardless of the thread
-/// (or order) it runs on.
-CandidatePair MakePair(const ProblemInstance& instance,
-                       const PairStatistics* stats, size_t i,
-                       const Candidate& c) {
+/// Pass 2: fills column slot `at` for worker `i` and candidate `c`. The
+/// cost moments are computed here (same closed-form calls, same order as
+/// the eager builder); quality is the fixed score for current-current
+/// pairs and a lazy-table kind tag otherwise — the expensive Cases 1-3
+/// statistics are *not* computed at build time. Pure given (instance, c)
+/// — byte-identical regardless of the thread (or order) it runs on.
+void FillPairSlot(const ProblemInstance& instance, PairPoolBuilder* builder,
+                  size_t at, size_t i, const Candidate& c) {
   const Worker& w = instance.workers()[i];
   const Task& t = instance.tasks()[static_cast<size_t>(c.task)];
 
-  CandidatePair pair;
-  pair.worker_index = static_cast<int32_t>(i);
-  pair.task_index = c.task;
-  pair.involves_predicted = w.predicted || t.predicted;
-  pair.cost = DistanceBetween(w.location, t.location)
-                  .AffineTransform(instance.unit_price(), 0.0);
+  builder->worker_col()[at] = static_cast<int32_t>(i);
+  builder->task_col()[at] = c.task;
 
-  if (!pair.involves_predicted) {
-    pair.quality = Uncertain::Fixed(c.score);
-    pair.existence = 1.0;
+  const Uncertain cost = DistanceBetween(w.location, t.location)
+                             .AffineTransform(instance.unit_price(), 0.0);
+  builder->cost_mean_col()[at] = cost.mean();
+  builder->cost_var_col()[at] = cost.variance();
+  builder->cost_lb_col()[at] = cost.lb();
+  builder->cost_ub_col()[at] = cost.ub();
+
+  PairQualityKind kind;
+  double fixed_quality = 0.0;
+  if (!w.predicted && !t.predicted) {
+    kind = PairQualityKind::kCurrent;
+    fixed_quality = c.score;
   } else if (w.predicted && !t.predicted) {
-    pair.quality = stats->QualityCase1(pair.task_index);
-    pair.existence = stats->ExistenceCase1(pair.task_index);
+    kind = PairQualityKind::kCase1;
   } else if (!w.predicted && t.predicted) {
-    pair.quality = stats->QualityCase2(pair.worker_index);
-    pair.existence = stats->ExistenceCase2(pair.worker_index);
+    kind = PairQualityKind::kCase2;
   } else {
-    pair.quality = stats->QualityCase3();
-    pair.existence = stats->ExistenceCase3();
+    kind = PairQualityKind::kCase3;
   }
-  pair.FinalizeEffectiveQuality();
-  return pair;
-}
-
-/// Appends `pair` to the pool, maintaining the adjacency lists.
-void AppendPair(PairPool* pool, const CandidatePair& pair) {
-  const int32_t pair_id = static_cast<int32_t>(pool->pairs.size());
-  pool->pairs.push_back(pair);
-  pool->pairs_by_task[static_cast<size_t>(pair.task_index)].push_back(pair_id);
-  pool->pairs_by_worker[static_cast<size_t>(pair.worker_index)].push_back(
-      pair_id);
+  builder->fixed_quality_col()[at] = fixed_quality;
+  builder->qkind_col()[at] = static_cast<uint8_t>(kind);
 }
 
 /// The sharded parallel builder. Produces a pool byte-identical to the
 /// sequential path below by splitting the work into pure per-worker
 /// pieces and keeping every order-sensitive step on one thread:
 ///   1. (parallel, per region shard) reachability scans fill per-worker
-///      candidate lists — each shard queries its own border-banded task
-///      index, or the caller's prebuilt index when one exists;
-///   2. (sequential) PairStatistics replays the current-current samples
-///      worker-major, the exact accumulation order of the scanning
-///      constructor;
-///   3. (parallel) pairs materialize into their final slots, positioned
-///      by a prefix sum over per-worker candidate counts — the same
-///      worker-major layout the sequential loop emits;
-///   4. (sequential) adjacency lists fill in ascending pair-id order.
+///      candidate spans in *shard-pinned* arena buffers — each shard
+///      queries its own border-banded task index, or the caller's
+///      prebuilt index when one exists;
+///   2. (sequential) a prefix sum over per-worker candidate counts
+///      positions every pair slot — the same worker-major layout the
+///      sequential loop emits;
+///   3. (parallel) pair columns fill into their final slots, fanned per
+///      worker (on skewed instances one region can own most candidates,
+///      and per-shard items would serialize exactly the heavy part);
+///   4. (sequential) the CSR adjacency fills in ascending pair-id order.
+/// There is no statistics phase: predicted-pair quality/existence is
+/// deferred to the pool's lazy table, whose replay reads the columns —
+/// identical bytes no matter how they were produced.
 PairPool BuildPairPoolSharded(const ProblemInstance& instance,
                               const PairPoolOptions& options,
                               const SpatialIndex* prebuilt, size_t num_workers,
                               size_t num_tasks, double max_deadline,
-                              bool has_predicted, ThreadPool* pool) {
+                              bool has_predicted, ThreadPool* pool,
+                              PairArena* arena) {
   const QualityModel& model = *instance.quality_model();
   const ShardingPlan plan =
       ShardByRegion(instance, num_workers, num_tasks, max_deadline,
@@ -119,15 +127,17 @@ PairPool BuildPairPoolSharded(const ProblemInstance& instance,
   std::vector<std::unique_ptr<SpatialIndex>> shard_indexes(
       prebuilt == nullptr ? num_shards : 0);
 
-  // Per-worker candidate lists, plus — when the statistics are needed —
-  // each current worker's (current task, score) samples, extracted in
-  // the same parallel pass so the sequential stats phase below only
-  // replays them.
-  std::vector<std::vector<Candidate>> candidates(num_workers);
-  std::vector<std::vector<std::pair<int32_t, double>>> samples(
-      has_predicted ? instance.num_current_workers() : 0);
+  // Shard arenas are created on the sequential spine (shard() is not
+  // thread-safe); inside the fan-out each shard bumps only its own.
+  for (size_t s = 0; s < num_shards; ++s) arena->shard(s);
+
+  WorkerCandidates* candidates =
+      arena->AllocateArray<WorkerCandidates>(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) candidates[i] = {};
+
   pool->ParallelFor(static_cast<int64_t>(num_shards), [&](int64_t s) {
     const RegionShard& shard = plan.shards[static_cast<size_t>(s)];
+    PairArena* shard_arena = arena->shard(static_cast<size_t>(s));
     const SpatialIndex* index = prebuilt;
     if (index == nullptr) {
       auto owned = CreateSpatialIndex(
@@ -137,71 +147,95 @@ PairPool BuildPairPoolSharded(const ProblemInstance& instance,
       shard_indexes[static_cast<size_t>(s)] = std::move(owned);
       index = shard_indexes[static_cast<size_t>(s)].get();
     }
+    // One contiguous buffer per shard; per-worker start offsets resolve
+    // to spans once the buffer stops growing (end of this item).
+    ArenaVector<Candidate> buffer(shard_arena);
+    ArenaVector<size_t> starts(shard_arena);
     std::vector<std::pair<int32_t, double>> scratch;
     for (const int32_t wi : shard.worker_indices) {
-      const size_t i = static_cast<size_t>(wi);
-      CollectCandidates(instance, model, *index, i, max_deadline, num_tasks,
-                        &scratch, &candidates[i]);
-      if (i >= samples.size()) continue;  // predicted, or no stats needed
-      for (const Candidate& c : candidates[i]) {
-        if (static_cast<size_t>(c.task) >= instance.num_current_tasks()) {
-          continue;
-        }
-        samples[i].emplace_back(c.task, c.score);
-      }
+      starts.push_back(buffer.size());
+      CollectCandidates(instance, model, *index, static_cast<size_t>(wi),
+                        max_deadline, num_tasks, &scratch, &buffer);
+    }
+    for (size_t k = 0; k < shard.worker_indices.size(); ++k) {
+      const size_t wi = static_cast<size_t>(shard.worker_indices[k]);
+      const size_t end =
+          k + 1 < starts.size() ? starts[k + 1] : buffer.size();
+      candidates[wi] = {buffer.data() + starts[k], end - starts[k]};
     }
   });
 
-  std::unique_ptr<PairStatistics> stats;
-  if (has_predicted) {
-    stats = std::make_unique<PairStatistics>(instance, samples);
-  }
-
-  std::vector<size_t> offsets(num_workers + 1, 0);
+  size_t* offsets = arena->AllocateArray<size_t>(num_workers + 1);
+  offsets[0] = 0;
   for (size_t i = 0; i < num_workers; ++i) {
-    offsets[i + 1] = offsets[i] + candidates[i].size();
+    offsets[i + 1] = offsets[i] + candidates[i].count;
   }
 
-  PairPool result;
-  result.pairs_by_task.resize(instance.tasks().size());
-  result.pairs_by_worker.resize(instance.workers().size());
-  result.pairs.resize(offsets[num_workers]);
-  // Unlike pass 1 this has no shard affinity, so it fans out per worker:
-  // on skewed (clustered) instances one region can own most of the
-  // candidates, and per-shard items would serialize exactly the heavy
-  // part.
+  PairPoolBuilder builder(instance.workers().size(), instance.tasks().size(),
+                          instance.num_current_workers(),
+                          instance.num_current_tasks(), offsets[num_workers],
+                          arena, has_predicted);
   pool->ParallelFor(static_cast<int64_t>(num_workers), [&](int64_t wi) {
     const size_t i = static_cast<size_t>(wi);
     size_t at = offsets[i];
-    for (const Candidate& c : candidates[i]) {
-      result.pairs[at++] = MakePair(instance, stats.get(), i, c);
+    const WorkerCandidates& wc = candidates[i];
+    for (size_t k = 0; k < wc.count; ++k) {
+      FillPairSlot(instance, &builder, at++, i, wc.data[k]);
     }
   });
+  return std::move(builder).Build();
+}
 
-  for (size_t id = 0; id < result.pairs.size(); ++id) {
-    const CandidatePair& pair = result.pairs[id];
-    result.pairs_by_task[static_cast<size_t>(pair.task_index)].push_back(
-        static_cast<int32_t>(id));
-    result.pairs_by_worker[static_cast<size_t>(pair.worker_index)].push_back(
-        static_cast<int32_t>(id));
+PairPool BuildPairPoolSequential(const ProblemInstance& instance,
+                                 const PairPoolOptions& options,
+                                 const SpatialIndex* prebuilt,
+                                 size_t num_workers, size_t num_tasks,
+                                 double max_deadline, bool has_predicted,
+                                 PairArena* arena) {
+  const QualityModel& model = *instance.quality_model();
+
+  const SpatialIndex* index = prebuilt;
+  std::unique_ptr<SpatialIndex> owned;
+  if (index == nullptr) {
+    owned = CreateSpatialIndex(
+        ResolveBackend(options.backend, num_workers, num_tasks));
+    std::vector<IndexEntry> entries;
+    entries.reserve(num_tasks);
+    for (size_t j = 0; j < num_tasks; ++j) {
+      entries.push_back({static_cast<int64_t>(j),
+                         instance.tasks()[j].location,
+                         instance.tasks()[j].deadline});
+    }
+    owned->BulkLoad(entries);
+    index = owned.get();
   }
-  return result;
+
+  // Pass 1: candidates of all workers, worker-major (the final pair
+  // order), into one arena buffer.
+  ArenaVector<Candidate> buffer(arena);
+  size_t* offsets = arena->AllocateArray<size_t>(num_workers + 1);
+  offsets[0] = 0;
+  std::vector<std::pair<int32_t, double>> scratch;
+  for (size_t i = 0; i < num_workers; ++i) {
+    CollectCandidates(instance, model, *index, i, max_deadline, num_tasks,
+                      &scratch, &buffer);
+    offsets[i + 1] = buffer.size();
+  }
+
+  // Pass 2: fill the columns in place.
+  PairPoolBuilder builder(instance.workers().size(), instance.tasks().size(),
+                          instance.num_current_workers(),
+                          instance.num_current_tasks(), offsets[num_workers],
+                          arena, has_predicted);
+  for (size_t i = 0; i < num_workers; ++i) {
+    for (size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      FillPairSlot(instance, &builder, k, i, buffer[k]);
+    }
+  }
+  return std::move(builder).Build();
 }
 
 }  // namespace
-
-double PairPool::AvgWorkersPerTask() const {
-  int64_t tasks_with_pairs = 0;
-  int64_t total = 0;
-  for (const auto& list : pairs_by_task) {
-    if (!list.empty()) {
-      ++tasks_with_pairs;
-      total += static_cast<int64_t>(list.size());
-    }
-  }
-  if (tasks_with_pairs == 0) return 0.0;
-  return static_cast<double>(total) / static_cast<double>(tasks_with_pairs);
-}
 
 PairPool BuildPairPool(const ProblemInstance& instance,
                        const PairPoolOptions& options) {
@@ -217,7 +251,7 @@ PairPool BuildPairPool(const ProblemInstance& instance,
 
   // Caller-provided index (covering *all* tasks; ids past num_tasks are
   // filtered in the scan), or null when one must be built — per shard on
-  // the parallel path, once below on the sequential path.
+  // the parallel path, once on the sequential path.
   const SpatialIndex* prebuilt =
       options.task_index != nullptr ? options.task_index
                                     : instance.task_index();
@@ -238,54 +272,32 @@ PairPool BuildPairPool(const ProblemInstance& instance,
       options.include_predicted && (instance.num_predicted_workers() > 0 ||
                                     instance.num_predicted_tasks() > 0);
 
+  // Arena precedence: options, then the instance (the simulator's
+  // per-epoch arena), then a private arena the pool owns.
+  PairArena* arena =
+      options.arena != nullptr ? options.arena : instance.pair_arena();
+  std::unique_ptr<PairArena> owned_arena;
+  if (arena == nullptr) {
+    owned_arena = std::make_unique<PairArena>();
+    arena = owned_arena.get();
+  }
+
   ThreadPool* thread_pool = options.thread_pool != nullptr
                                 ? options.thread_pool
                                 : instance.thread_pool();
-  if (thread_pool != nullptr && thread_pool->num_threads() > 1 &&
-      num_workers >= kMinShardableWorkers) {
-    return BuildPairPoolSharded(instance, options, prebuilt, num_workers,
-                                num_tasks, max_deadline, has_predicted,
-                                thread_pool);
-  }
-
-  PairPool pool;
-  pool.pairs_by_task.resize(instance.tasks().size());
-  pool.pairs_by_worker.resize(instance.workers().size());
-
-  const SpatialIndex* index = prebuilt;
-  std::unique_ptr<SpatialIndex> owned;
-  if (index == nullptr) {
-    owned = CreateSpatialIndex(
-        ResolveBackend(options.backend, num_workers, num_tasks));
-    std::vector<IndexEntry> entries;
-    entries.reserve(num_tasks);
-    for (size_t j = 0; j < num_tasks; ++j) {
-      entries.push_back({static_cast<int64_t>(j),
-                         instance.tasks()[j].location,
-                         instance.tasks()[j].deadline});
-    }
-    owned->BulkLoad(entries);
-    index = owned.get();
-  }
-
-  // Sample statistics of current pairs drive the predicted-pair quality
-  // distributions; only needed when predicted entities participate. The
-  // scan inside shares this task index so it stays sublinear too.
-  std::unique_ptr<PairStatistics> stats;
-  if (has_predicted) {
-    stats = std::make_unique<PairStatistics>(instance, index, max_deadline);
-  }
-
-  std::vector<std::pair<int32_t, double>> scratch;
-  std::vector<Candidate> worker_candidates;
-  for (size_t i = 0; i < num_workers; ++i) {
-    worker_candidates.clear();
-    CollectCandidates(instance, *model, *index, i, max_deadline, num_tasks,
-                      &scratch, &worker_candidates);
-    for (const Candidate& c : worker_candidates) {
-      AppendPair(&pool, MakePair(instance, stats.get(), i, c));
-    }
-  }
+  PairPool pool =
+      (thread_pool != nullptr && thread_pool->num_threads() > 1 &&
+       num_workers >= kMinShardableWorkers)
+          ? BuildPairPoolSharded(instance, options, prebuilt, num_workers,
+                                 num_tasks, max_deadline, has_predicted,
+                                 thread_pool, arena)
+          : BuildPairPoolSequential(instance, options, prebuilt, num_workers,
+                                    num_tasks, max_deadline, has_predicted,
+                                    arena);
+  if (owned_arena != nullptr) pool.AdoptArena(std::move(owned_arena));
+  pool.set_stats_sink(options.stats_sink != nullptr ? options.stats_sink
+                                                    : instance.pool_stats());
+  if (options.eager_stats) pool.MaterializeAllStats();
   return pool;
 }
 

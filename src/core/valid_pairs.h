@@ -4,33 +4,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/pair_pool.h"
 #include "index/spatial_index.h"
-#include "model/candidate_pair.h"
 #include "model/problem_instance.h"
 
 namespace mqa {
 
+class PairArena;
 class ThreadPool;
 
-/// All valid worker-and-task pairs of a ProblemInstance (the list L of the
-/// greedy algorithm, paper Fig. 5 line 2), with per-task and per-worker
-/// adjacency for decomposition and merge.
-struct PairPool {
-  std::vector<CandidatePair> pairs;
-
-  /// pairs_by_task[j] lists the indices into `pairs` whose task_index is j
-  /// (size = number of tasks in the instance, current + predicted).
-  std::vector<std::vector<int32_t>> pairs_by_task;
-
-  /// pairs_by_worker[i] lists indices into `pairs` for worker i.
-  std::vector<std::vector<int32_t>> pairs_by_worker;
-
-  /// Average number of valid workers per task with at least one valid
-  /// pair (deg_t in the Appendix C cost model).
-  double AvgWorkersPerTask() const;
-};
-
-/// How BuildPairPool enumerates candidate tasks per worker.
+/// How BuildPairPool enumerates candidate tasks per worker and where the
+/// resulting columns live.
 struct PairPoolOptions {
   /// When false, only current workers/tasks participate (the paper's WoP
   /// straw man and the exact oracle).
@@ -53,14 +37,38 @@ struct PairPoolOptions {
   /// sequential path; the parallel path produces a byte-identical pool
   /// (see src/exec/README.md for the determinism contract).
   ThreadPool* thread_pool = nullptr;
+
+  /// Arena backing the pool's columns, CSR adjacency and build scratch.
+  /// Precedence: this field, then the instance's pair_arena(); null (the
+  /// default) gives the pool a private arena. An external arena must
+  /// outlive the pool and is *not* Reset here — the owner (sim/
+  /// EpochRunner) resets it once per epoch, which is what makes the
+  /// steady state allocation-free. On the parallel path, per-shard
+  /// sub-arenas of this arena pin the candidate scratch to shards.
+  PairArena* arena = nullptr;
+
+  /// Materialize every referenced Case 1-3 quality/existence distribution
+  /// at build time instead of on first touch. Values are byte-identical
+  /// either way (property-tested); this knob exists for benchmarks and
+  /// the lazy-vs-eager tests.
+  bool eager_stats = false;
+
+  /// When set (precedence: this field, then the instance's pool_stats()),
+  /// the pool writes its PairPoolStats here on destruction — after the
+  /// consuming algorithm ran, so the lazy counters are final.
+  PairPoolStats* stats_sink = nullptr;
 };
 
-/// Enumerates valid pairs and attaches cost/quality/existence statistics:
+/// Enumerates valid pairs into a columnar PairPool and attaches
+/// cost/quality/existence statistics:
 ///  * current-current: fixed cost C*dist and fixed quality from the
-///    instance's QualityModel;
+///    instance's QualityModel, stored inline in the columns;
 ///  * pairs involving predicted entities (only when include_predicted):
-///    cost from the closed-form box-distance statistics, quality and
-///    existence from PairStatistics Cases 1-3 (paper Section III-B).
+///    cost from the closed-form box-distance statistics stored inline;
+///    quality and existence from PairStatistics Cases 1-3 (paper Section
+///    III-B) — *not* stored, but resolved through the pool's lazy table
+///    on first touch (see core/pair_pool.h). Pairs pruned before any
+///    quality comparison never pay for the sampling.
 /// Validity is the reachability test ProblemInstance::CanReach.
 ///
 /// Candidate tasks per worker come from a radius query over a task index

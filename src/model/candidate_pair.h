@@ -7,9 +7,16 @@
 
 namespace mqa {
 
-/// A valid worker-and-task assignment pair <w̃_i, t̃_j> over current or
-/// predicted entities (paper Section III-B). Indices refer to the worker
-/// and task vectors of the ProblemInstance the pair was built from.
+/// A materialized valid worker-and-task assignment pair <w̃_i, t̃_j> over
+/// current or predicted entities (paper Section III-B). Indices refer to
+/// the worker and task vectors of the ProblemInstance the pair was built
+/// from.
+///
+/// Algorithms no longer traffic in this struct: the pool stores pairs as
+/// SoA columns and hands out PairRef views (see core/pair_pool.h).
+/// CandidatePair remains the materialized value type — the input to
+/// hand-built pools (PairPoolBuilder::Add) and the output of
+/// PairPool::GetPair for tests and cold paths.
 struct CandidatePair {
   int32_t worker_index = -1;
   int32_t task_index = -1;
@@ -35,22 +42,14 @@ struct CandidatePair {
   /// the next instance, so thinning would systematically under-rank
   /// predicted pairs and suppress the WP-over-WoP steering effect; see
   /// DESIGN.md §3.3). ExistenceThinnedQuality() exposes the thinned
-  /// variant for callers that want the conservative ranking. Cached at
-  /// pair-build time because comparisons sit in the greedy inner loop.
-  const Uncertain& EffectiveQuality() const { return effective_quality_; }
+  /// variant for callers that want the conservative ranking.
+  const Uncertain& EffectiveQuality() const { return quality; }
 
   /// The quality thinned by an independent Bernoulli(existence) trial —
   /// the conservative interpretation of p̂_ij.
   Uncertain ExistenceThinnedQuality() const {
     return involves_predicted ? quality.BernoulliThin(existence) : quality;
   }
-
-  /// Recomputes the cached effective quality; the pair builder calls this
-  /// after filling quality/existence.
-  void FinalizeEffectiveQuality() { effective_quality_ = quality; }
-
- private:
-  Uncertain effective_quality_;
 };
 
 }  // namespace mqa

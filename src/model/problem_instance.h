@@ -11,6 +11,8 @@
 
 namespace mqa {
 
+class PairArena;
+struct PairPoolStats;
 class QualityModel;
 class SpatialIndex;
 class ThreadPool;
@@ -82,6 +84,24 @@ class ProblemInstance {
   ThreadPool* thread_pool() const { return thread_pool_; }
   void set_thread_pool(ThreadPool* pool) { thread_pool_ = pool; }
 
+  /// Optional arena backing the assigner's pair-pool columns and build
+  /// scratch (see exec/pair_arena.h). Non-owning, must outlive every pool
+  /// built from this instance; the simulator points this at its per-epoch
+  /// arena and Resets it between epochs, so steady-state pair-pool
+  /// construction allocates nothing. Null (the default) gives each pool a
+  /// private arena. Like thread_pool, purely an execution hint — it never
+  /// changes results.
+  PairArena* pair_arena() const { return pair_arena_; }
+  void set_pair_arena(PairArena* arena) { pair_arena_ = arena; }
+
+  /// Optional sink for pair-pool measurements (size, bytes, arena state,
+  /// lazily-skipped sampling fraction). A pool built from this instance
+  /// writes its stats here when it is destroyed — i.e. after the
+  /// assigner consumed it. Non-owning; the simulator wires this into its
+  /// per-epoch metrics.
+  PairPoolStats* pool_stats() const { return pool_stats_; }
+  void set_pool_stats(PairPoolStats* stats) { pool_stats_ = stats; }
+
   /// Unit price C per distance unit (paper Section II-C).
   double unit_price() const { return unit_price_; }
 
@@ -115,6 +135,8 @@ class ProblemInstance {
   const SpatialIndex* task_index_ = nullptr;
   const SpatialIndex* worker_index_ = nullptr;
   ThreadPool* thread_pool_ = nullptr;
+  PairArena* pair_arena_ = nullptr;
+  PairPoolStats* pool_stats_ = nullptr;
   double unit_price_ = 1.0;
   double budget_ = 0.0;
 };

@@ -59,25 +59,25 @@ PairStatistics::PairStatistics(const ProblemInstance& instance,
   }
 }
 
-PairStatistics::PairStatistics(
-    const ProblemInstance& instance,
-    const std::vector<std::vector<std::pair<int32_t, double>>>&
-        samples_by_worker)
-    : num_current_workers_(instance.num_current_workers()),
-      num_current_tasks_(instance.num_current_tasks()),
-      per_task_(instance.num_current_tasks()),
-      per_worker_(instance.num_current_workers()) {
-  MQA_CHECK(samples_by_worker.size() >= num_current_workers_)
-      << "samples must cover every current worker";
-  for (size_t i = 0; i < num_current_workers_; ++i) {
-    for (const auto& [j, q] : samples_by_worker[i]) {
-      MQA_CHECK(j >= 0 && static_cast<size_t>(j) < num_current_tasks_)
-          << "sample task index out of the current range";
-      per_task_[static_cast<size_t>(j)].Add(q);
-      per_worker_[i].Add(q);
-      global_.Add(q);
-      ++num_valid_pairs_;
-    }
+PairStatistics::PairStatistics(size_t num_current_workers,
+                               size_t num_current_tasks,
+                               const int32_t* worker_col,
+                               const int32_t* task_col,
+                               const double* fixed_quality_col,
+                               size_t num_pairs)
+    : num_current_workers_(num_current_workers),
+      num_current_tasks_(num_current_tasks),
+      per_task_(num_current_tasks),
+      per_worker_(num_current_workers) {
+  for (size_t k = 0; k < num_pairs; ++k) {
+    const size_t i = static_cast<size_t>(worker_col[k]);
+    const size_t j = static_cast<size_t>(task_col[k]);
+    if (i >= num_current_workers_ || j >= num_current_tasks_) continue;
+    const double q = fixed_quality_col[k];
+    per_task_[j].Add(q);
+    per_worker_[i].Add(q);
+    global_.Add(q);
+    ++num_valid_pairs_;
   }
 }
 

@@ -42,18 +42,19 @@ class PairStatistics {
   PairStatistics(const ProblemInstance& instance,
                  const SpatialIndex* task_index, double max_deadline);
 
-  /// Builds the same statistics from *precollected* valid current-pair
-  /// samples: samples_by_worker[i] lists (current task index, score q_ij)
-  /// for current worker i, ascending by task index and already
-  /// CanReach-filtered — exactly what the scanning constructors would
-  /// have visited. Accumulation replays worker-major in ascending task
-  /// order, so the resulting statistics are bit-identical to the scans.
-  /// The parallel pair builder collects the samples across threads and
-  /// feeds them here on one thread (see src/exec/README.md).
-  PairStatistics(
-      const ProblemInstance& instance,
-      const std::vector<std::vector<std::pair<int32_t, double>>>&
-          samples_by_worker);
+  /// Column-fill constructor: replays the current-current pairs straight
+  /// out of a columnar pair pool. For pair k, worker_col[k]/task_col[k]
+  /// are its indices and fixed_quality_col[k] its score q_ij; pairs whose
+  /// worker or task index falls outside the current ranges (predicted
+  /// pairs) are skipped. The columns are worker-major with tasks
+  /// ascending per worker — the exact accumulation order of the scanning
+  /// constructors, so the statistics are bit-identical to an eager scan.
+  /// This is how the pool's LazyPairStats table builds the statistics on
+  /// first touch, from samples the pool already holds (no index queries,
+  /// no reachability re-tests — the pool *is* the sample list).
+  PairStatistics(size_t num_current_workers, size_t num_current_tasks,
+                 const int32_t* worker_col, const int32_t* task_col,
+                 const double* fixed_quality_col, size_t num_pairs);
 
   /// Quality distribution for a pair of a predicted worker with current
   /// task index `task_index` (Case 1).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/pair_pool.h"
 #include "model/assignment.h"
 #include "prediction/grid.h"
 
@@ -120,10 +121,24 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
     instance.set_worker_index(worker_index_cache_->view());
   }
   instance.set_thread_pool(runner_.pool());
+  // Recycle the pair-pool arena: slabs survive across epochs, so in the
+  // steady state the assigner's pool construction is allocation-free. The
+  // previous epoch's pool (dropped inside the last Assign) must not
+  // outlive this Reset — assigners never retain pools.
+  pair_arena_.Reset();
+  instance.set_pair_arena(&pair_arena_);
+  PairPoolStats pool_stats;
+  instance.set_pool_stats(&pool_stats);
 
   // --- Assign (line 5). ---
   MQA_ASSIGN_OR_RETURN(outcome.result, assigner->Assign(instance));
   metrics.cpu_seconds = Seconds(t_start);
+  metrics.pool_pairs = pool_stats.pairs;
+  metrics.pool_predicted_pairs = pool_stats.predicted_pairs;
+  metrics.pool_bytes = pool_stats.pool_bytes;
+  metrics.pool_arena_slabs = pool_stats.arena_slabs;
+  metrics.pool_arena_peak_bytes = pool_stats.arena_peak_bytes;
+  metrics.pool_lazy_skipped_fraction = pool_stats.lazy_skipped_fraction;
 
   if (config_.validate_assignments) {
     MQA_RETURN_NOT_OK(ValidateAssignment(instance, outcome.result));

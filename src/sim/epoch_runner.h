@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/assigner.h"
+#include "exec/pair_arena.h"
 #include "exec/parallel_runner.h"
 #include "index/task_index_cache.h"
 #include "index/worker_index_cache.h"
@@ -91,6 +92,11 @@ class EpochRunner {
   /// until the next RunEpoch.
   const SpatialIndex* worker_index() const;
 
+  /// The runner's thread pool (nullptr when sequential) — shared with
+  /// callers that parallelize their own per-epoch scans (the streaming
+  /// engine's coverable-backlog metric).
+  ThreadPool* thread_pool() const { return runner_.pool(); }
+
  private:
   SimulatorConfig config_;
   const QualityModel* quality_;
@@ -98,6 +104,10 @@ class EpochRunner {
   std::unique_ptr<TaskIndexCache> task_index_cache_;
   std::unique_ptr<WorkerIndexCache> worker_index_cache_;
   ParallelRunner runner_;
+
+  // Per-epoch pair-pool arena, Reset (slabs retained) at the start of
+  // every RunEpoch — steady-state pool construction allocates nothing.
+  PairArena pair_arena_;
 
   // The previous epoch's predicted per-cell counts, compared against the
   // current epoch's actual arrivals (Fig. 10).

@@ -33,6 +33,23 @@ struct InstanceMetrics {
   /// made, e.g. at instance 0 or when prediction is disabled).
   double worker_prediction_error = -1.0;
   double task_prediction_error = -1.0;
+
+  /// Pair-pool measurements of the epoch's assignment (flushed by the
+  /// pool when the assigner finishes with it; see core/pair_pool.h).
+  /// Pool size and bytes are deterministic; the arena fields describe
+  /// execution state (slab reuse across epochs, per-shard arenas) and may
+  /// legitimately differ across thread counts — they are excluded from
+  /// the byte-identity contract.
+  int64_t pool_pairs = 0;
+  int64_t pool_predicted_pairs = 0;
+  int64_t pool_bytes = 0;
+  int64_t pool_arena_slabs = 0;
+  int64_t pool_arena_peak_bytes = 0;
+
+  /// Fraction of predicted pairs whose Case 1-3 sampling was never
+  /// materialized by the algorithm (1.0 = the whole statistics phase was
+  /// skipped; 0 when the pool had no predicted pairs).
+  double pool_lazy_skipped_fraction = 0.0;
 };
 
 /// Whole-run aggregates.

@@ -9,7 +9,6 @@ CandidatePair CurrentPair(double cost) {
   CandidatePair p;
   p.cost = Uncertain::Fixed(cost);
   p.quality = Uncertain::Fixed(1.0);
-  p.FinalizeEffectiveQuality();
   return p;
 }
 
@@ -20,7 +19,6 @@ CandidatePair PredictedPair(double cost_mean, double cost_var, double cost_lb,
   p.quality = Uncertain::Fixed(1.0);
   p.involves_predicted = true;
   p.existence = 0.8;
-  p.FinalizeEffectiveQuality();
   return p;
 }
 

@@ -1,6 +1,7 @@
 #include "core/candidate_set.h"
 
 #include <algorithm>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -9,17 +10,19 @@
 namespace mqa {
 namespace {
 
-std::vector<CandidatePair> FixedPool(
-    const std::vector<std::pair<double, double>>& cost_quality) {
-  std::vector<CandidatePair> pool;
+PairPool FixedPool(const std::vector<std::pair<double, double>>& cost_quality) {
+  PairPoolBuilder builder(cost_quality.size(), cost_quality.size());
+  int32_t k = 0;
   for (const auto& [c, q] : cost_quality) {
     CandidatePair p;
+    p.worker_index = k;
+    p.task_index = k;
+    ++k;
     p.cost = Uncertain::Fixed(c);
     p.quality = Uncertain::Fixed(q);
-    p.FinalizeEffectiveQuality();
-    pool.push_back(p);
+    builder.Add(p);
   }
-  return pool;
+  return std::move(builder).Build();
 }
 
 bool Contains(const CandidateSet& set, int32_t id) {
@@ -72,17 +75,24 @@ TEST(CandidateSetTest, EqualQualityCheaperCostPrunes) {
 TEST(CandidateSetTest, EqualMeansDifferentVarianceCoexist) {
   // Equal means but different spread: not a duplicate, no strict edge on
   // either dimension -> both stay.
-  std::vector<CandidatePair> pool(2);
-  pool[0].cost = Uncertain::Fixed(2.0);
-  pool[0].quality = Uncertain(3.0, 0.5, 1.0, 5.0);
-  pool[0].involves_predicted = true;
-  pool[0].existence = 1.0;
-  pool[0].FinalizeEffectiveQuality();
-  pool[1].cost = Uncertain::Fixed(2.0);
-  pool[1].quality = Uncertain(3.0, 2.0, 0.0, 6.0);
-  pool[1].involves_predicted = true;
-  pool[1].existence = 1.0;
-  pool[1].FinalizeEffectiveQuality();
+  PairPoolBuilder builder(2, 2);
+  CandidatePair a;
+  a.worker_index = 0;
+  a.task_index = 0;
+  a.cost = Uncertain::Fixed(2.0);
+  a.quality = Uncertain(3.0, 0.5, 1.0, 5.0);
+  a.involves_predicted = true;
+  a.existence = 1.0;
+  builder.Add(a);
+  CandidatePair b;
+  b.worker_index = 1;
+  b.task_index = 1;
+  b.cost = Uncertain::Fixed(2.0);
+  b.quality = Uncertain(3.0, 2.0, 0.0, 6.0);
+  b.involves_predicted = true;
+  b.existence = 1.0;
+  builder.Add(b);
+  const PairPool pool = std::move(builder).Build();
   CandidateSet set(pool);
   EXPECT_TRUE(set.Offer(0));
   EXPECT_TRUE(set.Offer(1));

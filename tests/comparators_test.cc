@@ -9,7 +9,6 @@ CandidatePair FixedPair(double cost, double quality) {
   CandidatePair p;
   p.cost = Uncertain::Fixed(cost);
   p.quality = Uncertain::Fixed(quality);
-  p.FinalizeEffectiveQuality();
   return p;
 }
 
@@ -21,7 +20,6 @@ CandidatePair UncertainPair(double cost_mean, double cost_var, double cost_lb,
   p.quality = Uncertain(q_mean, q_var, q_lb, q_ub);
   p.existence = existence;
   p.involves_predicted = true;
-  p.FinalizeEffectiveQuality();
   return p;
 }
 

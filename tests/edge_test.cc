@@ -183,7 +183,7 @@ TEST(EdgeTest, HugeVelocityMakesEverythingValid) {
   const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
                              &quality, 1.0, 100.0);
   const PairPool pool = BuildPairPool(inst);
-  EXPECT_EQ(pool.pairs.size(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
 }
 
 TEST(EdgeTest, ZeroDeadlineNeverValid) {
@@ -193,7 +193,7 @@ TEST(EdgeTest, ZeroDeadlineNeverValid) {
   const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
                              &quality, 1.0, 100.0);
   const PairPool pool = BuildPairPool(inst);
-  EXPECT_TRUE(pool.pairs.empty());
+  EXPECT_TRUE(pool.empty());
 }
 
 TEST(EdgeTest, ZeroDeadlineColocatedIsValid) {
@@ -204,7 +204,7 @@ TEST(EdgeTest, ZeroDeadlineColocatedIsValid) {
   const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
                              &quality, 1.0, 100.0);
   const PairPool pool = BuildPairPool(inst);
-  EXPECT_EQ(pool.pairs.size(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
 }
 
 TEST(EdgeTest, MoreWorkersThanTasksAndViceVersa) {

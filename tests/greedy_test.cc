@@ -1,5 +1,8 @@
 #include "core/greedy.h"
 
+#include <tuple>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "core/exact_assigner.h"
@@ -15,26 +18,26 @@ using testing_util::MakeWorker;
 using testing_util::MatrixQualityModel;
 using testing_util::RandomInstanceOptions;
 
-// Builds a pool of hand-specified pairs (worker w, task t, cost, quality).
+// Builds a pool of hand-specified pairs (worker w, task t, cost, quality);
+// `predicted` (optional, per spec) marks pairs involving predicted
+// entities.
 PairPool HandPool(int num_workers, int num_tasks,
                   const std::vector<std::tuple<int, int, double, double>>&
-                      specs) {
-  PairPool pool;
-  pool.pairs_by_task.resize(static_cast<size_t>(num_tasks));
-  pool.pairs_by_worker.resize(static_cast<size_t>(num_workers));
-  for (const auto& [w, t, c, q] : specs) {
+                      specs,
+                  const std::vector<bool>& predicted = {}) {
+  PairPoolBuilder builder(static_cast<size_t>(num_workers),
+                          static_cast<size_t>(num_tasks));
+  for (size_t k = 0; k < specs.size(); ++k) {
+    const auto& [w, t, c, q] = specs[k];
     CandidatePair p;
     p.worker_index = w;
     p.task_index = t;
     p.cost = Uncertain::Fixed(c);
     p.quality = Uncertain::Fixed(q);
-    p.FinalizeEffectiveQuality();
-    const int32_t id = static_cast<int32_t>(pool.pairs.size());
-    pool.pairs.push_back(p);
-    pool.pairs_by_task[static_cast<size_t>(t)].push_back(id);
-    pool.pairs_by_worker[static_cast<size_t>(w)].push_back(id);
+    if (!predicted.empty()) p.involves_predicted = predicted[k];
+    builder.Add(p);
   }
-  return pool;
+  return std::move(builder).Build();
 }
 
 std::vector<int32_t> RunGreedyOnPool(const PairPool& pool, int num_workers,
@@ -42,7 +45,7 @@ std::vector<int32_t> RunGreedyOnPool(const PairPool& pool, int num_workers,
   std::vector<char> worker_used(static_cast<size_t>(num_workers), 0);
   std::vector<char> task_used(static_cast<size_t>(num_tasks), 0);
   BudgetTracker tracker(budget, 0.5);
-  std::vector<int32_t> ids(pool.pairs.size());
+  std::vector<int32_t> ids(pool.size());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
   std::vector<int32_t> selected;
   GreedySelect(pool, ids, &worker_used, &task_used, &tracker, &selected);
@@ -51,17 +54,13 @@ std::vector<int32_t> RunGreedyOnPool(const PairPool& pool, int num_workers,
 
 double TotalQuality(const PairPool& pool, const std::vector<int32_t>& ids) {
   double q = 0.0;
-  for (const int32_t id : ids) {
-    q += pool.pairs[static_cast<size_t>(id)].quality.mean();
-  }
+  for (const int32_t id : ids) q += pool.QualityMean(id);
   return q;
 }
 
 double TotalCost(const PairPool& pool, const std::vector<int32_t>& ids) {
   double c = 0.0;
-  for (const int32_t id : ids) {
-    c += pool.pairs[static_cast<size_t>(id)].cost.mean();
-  }
+  for (const int32_t id : ids) c += pool.CostMean(id);
   return c;
 }
 
@@ -115,7 +114,7 @@ TEST(RunningExampleTest, LocalStrategyGetsQuality7Cost5) {
       HandPool(3, 3, {{0, 0, 1.0, 3.0}, {0, 1, 2.0, 2.0}});
   const auto sel_p = RunGreedyOnPool(pool_p, 3, 3, 100.0);
   ASSERT_EQ(sel_p.size(), 1u);
-  EXPECT_EQ(pool_p.pairs[static_cast<size_t>(sel_p[0])].task_index, 0)
+  EXPECT_EQ(pool_p.TaskIndex(sel_p[0]), 0)
       << "local strategy assigns w1 to t1";
 
   // Instance p+1: w2, w3 arrive; t2 carried over, t3 arrives (Fig. 1b).
@@ -134,14 +133,14 @@ TEST(RunningExampleTest, PredictionStrategyGetsQuality8Cost4) {
   // Instance p with predicted ŵ2, ŵ3, t̂3: the greedy optimizes over all
   // pairs but only emits current-current ones. Predicted pairs use the
   // Table I statistics with existence 1 (a perfect prediction).
-  PairPool pool = HandPool(3, 3, kTableI);
-  for (auto& pair : pool.pairs) {
-    // w1 (index 0), t1, t2 (indices 0,1) are current at p.
-    const bool current_worker = pair.worker_index == 0;
-    const bool current_task = pair.task_index <= 1;
-    pair.involves_predicted = !(current_worker && current_task);
-    pair.FinalizeEffectiveQuality();
+  // w1 (index 0), t1, t2 (indices 0,1) are current at p.
+  std::vector<bool> predicted;
+  for (const auto& [w, t, c, q] : kTableI) {
+    (void)c;
+    (void)q;
+    predicted.push_back(!(w == 0 && t <= 1));
   }
+  const PairPool pool = HandPool(3, 3, kTableI, predicted);
   const auto selected = RunGreedyOnPool(pool, 3, 3, 100.0);
 
   // The predicted pair <ŵ2, t1> (q=4) outranks <w1, t1> (q=3), so w1 is
@@ -150,13 +149,12 @@ TEST(RunningExampleTest, PredictionStrategyGetsQuality8Cost4) {
   double emitted_cost = 0.0;
   int emitted = 0;
   for (const int32_t id : selected) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    if (p.involves_predicted) continue;
+    if (pool.InvolvesPredicted(id)) continue;
     ++emitted;
-    EXPECT_EQ(p.worker_index, 0);
-    EXPECT_EQ(p.task_index, 1);
-    emitted_quality += p.quality.mean();
-    emitted_cost += p.cost.mean();
+    EXPECT_EQ(pool.WorkerIndex(id), 0);
+    EXPECT_EQ(pool.TaskIndex(id), 1);
+    emitted_quality += pool.QualityMean(id);
+    emitted_cost += pool.CostMean(id);
   }
   EXPECT_EQ(emitted, 1);
 

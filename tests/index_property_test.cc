@@ -36,11 +36,16 @@ void ExpectSameUncertain(const Uncertain& a, const Uncertain& b) {
   EXPECT_EQ(a.ub(), b.ub());
 }
 
+void ExpectSameSpan(const PairIdSpan& a, const PairIdSpan& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+}
+
 void ExpectSamePool(const PairPool& a, const PairPool& b) {
-  ASSERT_EQ(a.pairs.size(), b.pairs.size());
-  for (size_t k = 0; k < a.pairs.size(); ++k) {
-    const CandidatePair& pa = a.pairs[k];
-    const CandidatePair& pb = b.pairs[k];
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    const CandidatePair pa = a.GetPair(static_cast<int32_t>(k));
+    const CandidatePair pb = b.GetPair(static_cast<int32_t>(k));
     EXPECT_EQ(pa.worker_index, pb.worker_index) << "pair " << k;
     EXPECT_EQ(pa.task_index, pb.task_index) << "pair " << k;
     EXPECT_EQ(pa.involves_predicted, pb.involves_predicted) << "pair " << k;
@@ -48,8 +53,16 @@ void ExpectSamePool(const PairPool& a, const PairPool& b) {
     ExpectSameUncertain(pa.cost, pb.cost);
     ExpectSameUncertain(pa.quality, pb.quality);
   }
-  EXPECT_EQ(a.pairs_by_task, b.pairs_by_task);
-  EXPECT_EQ(a.pairs_by_worker, b.pairs_by_worker);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (size_t j = 0; j < a.num_tasks(); ++j) {
+    ExpectSameSpan(a.PairsByTask(static_cast<int32_t>(j)),
+                   b.PairsByTask(static_cast<int32_t>(j)));
+  }
+  ASSERT_EQ(a.num_workers(), b.num_workers());
+  for (size_t i = 0; i < a.num_workers(); ++i) {
+    ExpectSameSpan(a.PairsByWorker(static_cast<int32_t>(i)),
+                   b.PairsByWorker(static_cast<int32_t>(i)));
+  }
 }
 
 PairPool BuildWith(const ProblemInstance& instance, IndexBackend backend,

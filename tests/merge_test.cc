@@ -2,6 +2,7 @@
 
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -14,22 +15,17 @@ namespace {
 PairPool HandPool(int num_workers, int num_tasks,
                   const std::vector<std::tuple<int, int, double, double>>&
                       specs) {
-  PairPool pool;
-  pool.pairs_by_task.resize(static_cast<size_t>(num_tasks));
-  pool.pairs_by_worker.resize(static_cast<size_t>(num_workers));
+  PairPoolBuilder builder(static_cast<size_t>(num_workers),
+                          static_cast<size_t>(num_tasks));
   for (const auto& [w, t, c, q] : specs) {
     CandidatePair p;
     p.worker_index = w;
     p.task_index = t;
     p.cost = Uncertain::Fixed(c);
     p.quality = Uncertain::Fixed(q);
-    p.FinalizeEffectiveQuality();
-    const int32_t id = static_cast<int32_t>(pool.pairs.size());
-    pool.pairs.push_back(p);
-    pool.pairs_by_task[static_cast<size_t>(t)].push_back(id);
-    pool.pairs_by_worker[static_cast<size_t>(w)].push_back(id);
+    builder.Add(p);
   }
-  return pool;
+  return std::move(builder).Build();
 }
 
 void ExpectNoWorkerConflicts(const PairPool& pool,
@@ -37,11 +33,10 @@ void ExpectNoWorkerConflicts(const PairPool& pool,
   std::set<int32_t> workers;
   std::set<int32_t> tasks;
   for (const int32_t id : merged) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    EXPECT_TRUE(workers.insert(p.worker_index).second)
-        << "worker " << p.worker_index << " duplicated";
-    EXPECT_TRUE(tasks.insert(p.task_index).second)
-        << "task " << p.task_index << " duplicated";
+    EXPECT_TRUE(workers.insert(pool.WorkerIndex(id)).second)
+        << "worker " << pool.WorkerIndex(id) << " duplicated";
+    EXPECT_TRUE(tasks.insert(pool.TaskIndex(id)).second)
+        << "task " << pool.TaskIndex(id) << " duplicated";
   }
 }
 
@@ -105,9 +100,8 @@ TEST(MergeTest, ReplacementPicksHighestQualityAvailable) {
   // t1's replacement should be worker 2 (q4 > q3).
   bool found = false;
   for (const int32_t id : merged) {
-    const CandidatePair& p = pool.pairs[static_cast<size_t>(id)];
-    if (p.task_index == 1) {
-      EXPECT_EQ(p.worker_index, 2);
+    if (pool.TaskIndex(id) == 1) {
+      EXPECT_EQ(pool.WorkerIndex(id), 2);
       found = true;
     }
   }
@@ -166,7 +160,7 @@ TEST(MergeTest, RandomizedStressNoConflictsEver) {
     std::vector<int32_t> merged;
     std::vector<int32_t> incoming;
     for (int t = 0; t < num_tasks; ++t) {
-      const auto& options = pool.pairs_by_task[static_cast<size_t>(t)];
+      const PairIdSpan options = pool.PairsByTask(t);
       if (options.empty()) continue;
       const int32_t pick = options[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
@@ -177,8 +171,7 @@ TEST(MergeTest, RandomizedStressNoConflictsEver) {
       std::set<int32_t> seen;
       std::vector<int32_t> out;
       for (const int32_t id : *side) {
-        const int32_t w = pool.pairs[static_cast<size_t>(id)].worker_index;
-        if (seen.insert(w).second) out.push_back(id);
+        if (seen.insert(pool.WorkerIndex(id)).second) out.push_back(id);
       }
       *side = out;
     };

@@ -105,8 +105,9 @@ TEST(BuildPairPoolTest, CurrentPairsAreFixed) {
   const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
   const auto inst = FullyConnected(&quality);
   const PairPool pool = BuildPairPool(inst);
-  ASSERT_EQ(pool.pairs.size(), 4u);
-  for (const auto& p : pool.pairs) {
+  ASSERT_EQ(pool.size(), 4u);
+  for (int32_t id = 0; id < 4; ++id) {
+    const CandidatePair p = pool.GetPair(id);
     EXPECT_FALSE(p.involves_predicted);
     EXPECT_TRUE(p.cost.IsFixed());
     EXPECT_TRUE(p.quality.IsFixed());
@@ -127,8 +128,13 @@ TEST(BuildPairPoolTest, PredictedPairsGetCase1Stats) {
                              &quality, 1.0, 100.0);
   const PairPool pool = BuildPairPool(inst);
 
+  // Nothing is sampled until a predicted pair's quality is touched.
+  EXPECT_EQ(pool.Stats().stats_materialized, false);
+  EXPECT_DOUBLE_EQ(pool.Stats().lazy_skipped_fraction, 1.0);
+
   int predicted_pairs = 0;
-  for (const auto& p : pool.pairs) {
+  for (int32_t id = 0; id < static_cast<int32_t>(pool.size()); ++id) {
+    const CandidatePair p = pool.GetPair(id);
     if (!p.involves_predicted) continue;
     ++predicted_pairs;
     EXPECT_EQ(p.worker_index, 2);
@@ -143,6 +149,10 @@ TEST(BuildPairPoolTest, PredictedPairsGetCase1Stats) {
     EXPECT_GT(p.cost.ub(), p.cost.lb());
   }
   EXPECT_EQ(predicted_pairs, 2);
+
+  // The touches above materialized every referenced distribution.
+  EXPECT_EQ(pool.Stats().stats_materialized, true);
+  EXPECT_DOUBLE_EQ(pool.Stats().lazy_skipped_fraction, 0.0);
 }
 
 TEST(BuildPairPoolTest, ExcludePredictedFlag) {
@@ -155,8 +165,8 @@ TEST(BuildPairPoolTest, ExcludePredictedFlag) {
                              &quality, 1.0, 100.0);
   const PairPool with = BuildPairPool(inst, /*include_predicted=*/true);
   const PairPool without = BuildPairPool(inst, /*include_predicted=*/false);
-  EXPECT_EQ(with.pairs.size(), 2u);
-  EXPECT_EQ(without.pairs.size(), 1u);
+  EXPECT_EQ(with.size(), 2u);
+  EXPECT_EQ(without.size(), 1u);
 }
 
 TEST(BuildPairPoolTest, CostScalesWithUnitPrice) {
@@ -167,26 +177,38 @@ TEST(BuildPairPoolTest, CostScalesWithUnitPrice) {
   const ProblemInstance inst(std::move(workers), 1, std::move(tasks), 1,
                              &quality, 10.0, 100.0);
   const PairPool pool = BuildPairPool(inst);
-  ASSERT_EQ(pool.pairs.size(), 1u);
-  EXPECT_DOUBLE_EQ(pool.pairs[0].cost.mean(), 5.0);  // 10 * 0.5
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_DOUBLE_EQ(pool.CostMean(0), 5.0);  // 10 * 0.5
 }
 
-TEST(BuildPairPoolTest, AdjacencyListsConsistent) {
+TEST(BuildPairPoolTest, CsrAdjacencyConsistent) {
   const MatrixQualityModel quality({{1.0, 2.0}, {3.0, 4.0}});
   const auto inst = FullyConnected(&quality);
   const PairPool pool = BuildPairPool(inst);
   size_t total_by_task = 0;
-  for (const auto& list : pool.pairs_by_task) total_by_task += list.size();
-  size_t total_by_worker = 0;
-  for (const auto& list : pool.pairs_by_worker) {
-    total_by_worker += list.size();
+  for (size_t j = 0; j < pool.num_tasks(); ++j) {
+    total_by_task += pool.PairsByTask(static_cast<int32_t>(j)).size();
   }
-  EXPECT_EQ(total_by_task, pool.pairs.size());
-  EXPECT_EQ(total_by_worker, pool.pairs.size());
-  for (size_t j = 0; j < pool.pairs_by_task.size(); ++j) {
-    for (const int32_t id : pool.pairs_by_task[j]) {
-      EXPECT_EQ(pool.pairs[static_cast<size_t>(id)].task_index,
-                static_cast<int32_t>(j));
+  size_t total_by_worker = 0;
+  for (size_t i = 0; i < pool.num_workers(); ++i) {
+    total_by_worker += pool.PairsByWorker(static_cast<int32_t>(i)).size();
+  }
+  EXPECT_EQ(total_by_task, pool.size());
+  EXPECT_EQ(total_by_worker, pool.size());
+  for (size_t j = 0; j < pool.num_tasks(); ++j) {
+    int32_t prev = -1;
+    for (const int32_t id : pool.PairsByTask(static_cast<int32_t>(j))) {
+      EXPECT_EQ(pool.TaskIndex(id), static_cast<int32_t>(j));
+      EXPECT_GT(id, prev) << "rows must ascend by pair id";
+      prev = id;
+    }
+  }
+  for (size_t i = 0; i < pool.num_workers(); ++i) {
+    int32_t prev = -1;
+    for (const int32_t id : pool.PairsByWorker(static_cast<int32_t>(i))) {
+      EXPECT_EQ(pool.WorkerIndex(id), static_cast<int32_t>(i));
+      EXPECT_GT(id, prev) << "rows must ascend by pair id";
+      prev = id;
     }
   }
 }

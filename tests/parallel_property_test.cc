@@ -41,11 +41,19 @@ void ExpectSameUncertain(const Uncertain& a, const Uncertain& b,
   EXPECT_EQ(a.ub(), b.ub()) << what << " ub, pair " << k;
 }
 
+void ExpectSameSpan(const PairIdSpan& a, const PairIdSpan& b,
+                    const char* what, size_t row) {
+  ASSERT_EQ(a.size(), b.size()) << what << " row " << row;
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k], b[k]) << what << " row " << row << " entry " << k;
+  }
+}
+
 void ExpectSamePool(const PairPool& sequential, const PairPool& parallel) {
-  ASSERT_EQ(sequential.pairs.size(), parallel.pairs.size());
-  for (size_t k = 0; k < sequential.pairs.size(); ++k) {
-    const CandidatePair& a = sequential.pairs[k];
-    const CandidatePair& b = parallel.pairs[k];
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t k = 0; k < sequential.size(); ++k) {
+    const CandidatePair a = sequential.GetPair(static_cast<int32_t>(k));
+    const CandidatePair b = parallel.GetPair(static_cast<int32_t>(k));
     EXPECT_EQ(a.worker_index, b.worker_index) << "pair " << k;
     EXPECT_EQ(a.task_index, b.task_index) << "pair " << k;
     EXPECT_EQ(a.involves_predicted, b.involves_predicted) << "pair " << k;
@@ -55,8 +63,18 @@ void ExpectSamePool(const PairPool& sequential, const PairPool& parallel) {
     ExpectSameUncertain(a.EffectiveQuality(), b.EffectiveQuality(),
                         "effective quality", k);
   }
-  EXPECT_EQ(sequential.pairs_by_task, parallel.pairs_by_task);
-  EXPECT_EQ(sequential.pairs_by_worker, parallel.pairs_by_worker);
+  ASSERT_EQ(sequential.num_tasks(), parallel.num_tasks());
+  for (size_t j = 0; j < sequential.num_tasks(); ++j) {
+    ExpectSameSpan(sequential.PairsByTask(static_cast<int32_t>(j)),
+                   parallel.PairsByTask(static_cast<int32_t>(j)), "by-task",
+                   j);
+  }
+  ASSERT_EQ(sequential.num_workers(), parallel.num_workers());
+  for (size_t i = 0; i < sequential.num_workers(); ++i) {
+    ExpectSameSpan(sequential.PairsByWorker(static_cast<int32_t>(i)),
+                   parallel.PairsByWorker(static_cast<int32_t>(i)),
+                   "by-worker", i);
+  }
 }
 
 void ExpectSameAssignment(const AssignmentResult& a,
