@@ -13,14 +13,22 @@
 // footprint, self-checking lazy-vs-eager equality, and emits the numbers
 // as BENCH_pairpool.json.
 //
+// The fourth phase benchmarks the raw index backends (brute/grid/rtree)
+// on the paper's Fig. 18/19 location distributions — Uniform, Zipf and
+// Gaussian-cluster worker/task combos via src/workload/spatial_dist —
+// timing BulkLoad and the per-worker QueryReachable scan separately,
+// self-checking that every backend visits the identical candidate set,
+// and emitting BENCH_rtree.json.
+//
 // MQA_INDEX_BENCH_MAX caps the instance size (default 50000);
-// MQA_BENCH_SCALE scales the pool-phase sizes (default 1).
+// MQA_BENCH_SCALE scales the pool-phase and skew-phase sizes (default 1).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,8 +36,10 @@
 #include "common/rng.h"
 #include "core/valid_pairs.h"
 #include "exec/pair_arena.h"
+#include "index/spatial_index.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
+#include "workload/spatial_dist.h"
 
 namespace mqa {
 namespace {
@@ -279,6 +289,165 @@ void RunPoolPhase(const std::vector<int>& sizes, int max_n) {
   std::printf("wrote BENCH_pairpool.json\n");
 }
 
+// --- skewed-distribution index phase ----------------------------------------
+
+/// One (worker-dist, task-dist) combo in the paper's Fig. 18/19 coding:
+/// "U-Z" = uniform workers querying Zipf-distributed tasks.
+struct SkewRegime {
+  const char* name;
+  SpatialDistConfig worker_dist;
+  SpatialDistConfig task_dist;
+};
+
+struct SkewBackendResult {
+  double build_s = 1e100;
+  double query_s = 1e100;
+  size_t candidates = 0;
+  uint64_t checksum = 0;
+};
+
+/// Times BulkLoad and the per-worker QueryReachable scan separately; the
+/// (count, checksum) pair certifies that every backend visited the
+/// identical candidate set.
+SkewBackendResult MeasureSkewBackend(IndexBackend backend,
+                                     const std::vector<IndexEntry>& tasks,
+                                     const std::vector<Worker>& workers,
+                                     double max_deadline, int reps) {
+  SkewBackendResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::unique_ptr<SpatialIndex> index = CreateSpatialIndex(backend);
+    auto start = std::chrono::steady_clock::now();
+    index->BulkLoad(tasks);
+    r.build_s = std::min(r.build_s, Now(start));
+
+    size_t candidates = 0;
+    uint64_t checksum = 0;
+    start = std::chrono::steady_clock::now();
+    for (const Worker& w : workers) {
+      index->QueryReachable(w.location, w.velocity, max_deadline,
+                            [&](int64_t id, const BBox&, double) {
+                              ++candidates;
+                              checksum += static_cast<uint64_t>(id) *
+                                          uint64_t{2654435761};
+                            });
+    }
+    r.query_s = std::min(r.query_s, Now(start));
+    r.candidates = candidates;
+    r.checksum = checksum;
+  }
+  return r;
+}
+
+void RunSkewPhase(const std::vector<int>& sizes, int max_n) {
+  // City-regime reach (velocity 0.02-0.03, deadlines 1-2): the radius a
+  // hyperlocal worker actually covers, so query cost is index-bound, not
+  // emission-bound. Task deadlines double as the QueryReachable pruning
+  // bound.
+  constexpr double kDeadlineLo = 1.0, kDeadlineHi = 2.0;
+
+  SpatialDistConfig uniform;
+  SpatialDistConfig zipf;
+  zipf.kind = SpatialDistribution::kZipf;
+  zipf.zipf_skew = 0.9;  // sharper than the paper's 0.3: the stress case
+  SpatialDistConfig cluster;
+  cluster.kind = SpatialDistribution::kGaussian;
+  cluster.gaussian_sigma = 0.05;  // one tight downtown cluster
+
+  const SkewRegime regimes[] = {
+      {"U-U", uniform, uniform},  // baseline: grid's home turf
+      {"U-Z", uniform, zipf},     // uniform demand over clustered supply
+      {"U-G", uniform, cluster},
+      {"Z-Z", zipf, zipf},  // everything piled into the same corner
+      {"G-G", cluster, cluster},
+  };
+  const IndexBackend backends[] = {IndexBackend::kBruteForce,
+                                   IndexBackend::kGrid, IndexBackend::kRTree};
+
+  std::printf(
+      "\n-- skewed-distribution index phase (city reach, worker-dist - "
+      "task-dist) --\n");
+  std::printf("%6s %8s %12s %5s %12s %12s %12s %9s\n", "combo", "n",
+              "candidates", "bknd", "build_s", "query_s", "queries/s",
+              "q_speedup");
+
+  FILE* json = std::fopen("BENCH_rtree.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_rtree.json\n");
+  } else {
+    std::fprintf(json, "{\n  \"reach\": \"city (v 0.02-0.03, e 1-2)\",\n");
+    std::fprintf(json, "  \"results\": [\n");
+  }
+  bool first_row = true;
+
+  for (const SkewRegime& regime : regimes) {
+    for (const int n : sizes) {
+      if (n > max_n || n < 1) continue;
+      Rng rng(9000 + n);
+      std::vector<IndexEntry> tasks;
+      tasks.reserve(static_cast<size_t>(n));
+      for (int64_t j = 0; j < n; ++j) {
+        tasks.push_back({j, BBox::FromPoint(SampleLocation(regime.task_dist,
+                                                           &rng)),
+                         rng.Uniform(kDeadlineLo, kDeadlineHi)});
+      }
+      std::vector<Worker> workers;
+      workers.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const Point c = SampleLocation(regime.worker_dist, &rng);
+        workers.push_back(MakeWorker(i, c.x, c.y, rng.Uniform(0.02, 0.03)));
+      }
+
+      // The brute query pass is quadratic; skip it past 10k (like the
+      // city regime's 50k row, it would dominate the whole bench). The
+      // divergence self-check then falls back to grid-vs-rtree, so the
+      // backends are always cross-checked against each other.
+      const int baseline = n <= 10000 ? 0 : 1;
+      SkewBackendResult results[3];
+      for (int b = baseline; b < 3; ++b) {
+        results[b] = MeasureSkewBackend(backends[b], tasks, workers,
+                                        kDeadlineHi, n <= 10000 ? 3 : 2);
+        if (b > baseline &&
+            (results[b].candidates != results[baseline].candidates ||
+             results[b].checksum != results[baseline].checksum)) {
+          std::fprintf(stderr,
+                       "FATAL: %s candidate set diverged from %s "
+                       "(%zu vs %zu)\n",
+                       IndexBackendToString(backends[b]),
+                       IndexBackendToString(backends[baseline]),
+                       results[b].candidates, results[baseline].candidates);
+          std::exit(1);
+        }
+      }
+
+      const double grid_query = results[1].query_s;
+      for (int b = baseline; b < 3; ++b) {
+        const SkewBackendResult& r = results[b];
+        std::printf("%6s %8d %12zu %5s %12.4f %12.4f %12.3e %8.2fx\n",
+                    regime.name, n, r.candidates,
+                    IndexBackendToString(backends[b]), r.build_s, r.query_s,
+                    static_cast<double>(n) / r.query_s,
+                    grid_query / r.query_s);
+        if (json != nullptr) {
+          std::fprintf(
+              json,
+              "%s    {\"regime\": \"%s\", \"n\": %d, \"backend\": \"%s\", "
+              "\"candidates\": %zu, \"build_seconds\": %.6f, "
+              "\"query_seconds\": %.6f, \"query_speedup_vs_grid\": %.3f}",
+              first_row ? "" : ",\n", regime.name, n,
+              IndexBackendToString(backends[b]), r.candidates, r.build_s,
+              r.query_s, grid_query / r.query_s);
+          first_row = false;
+        }
+      }
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_rtree.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace mqa
 
@@ -299,6 +468,9 @@ int main() {
   mqa::RunRegime("paper", 0.2, 0.3, {1000, 10000}, max_n);
   mqa::RunPoolPhase({static_cast<int>(1000 * scale),
                      static_cast<int>(10000 * scale)},
+                    max_n);
+  mqa::RunSkewPhase({static_cast<int>(10000 * scale),
+                     static_cast<int>(50000 * scale)},
                     max_n);
   return 0;
 }

@@ -33,6 +33,7 @@ struct CliOptions {
   std::string scenario = "paper";      // paper | rush-hour | bursty | hotspot-drift
   std::string algo = "greedy";         // greedy | dc | random
   std::string epoch_policy = "instance";  // instance | interval | arrivals | backlog
+  std::string index = "auto";             // auto | brute | grid | rtree
   std::string worker_dist = "gaussian";
   std::string task_dist = "zipf";
   int64_t workers = 1250;
@@ -88,6 +89,8 @@ void PrintUsage() {
       "  --workers=N --tasks=N --instances=R --budget=B --unit-price=C\n"
       "  --q-lo --q-hi --e-lo --e-hi --v-lo --v-hi (paper ranges)\n"
       "  --worker-dist=gaussian|uniform|zipf --task-dist=...\n"
+      "  --index=auto|brute|grid|rtree (spatial-index backend for\n"
+      "      candidate generation; rtree suits skewed distributions)\n"
       "  --gamma=G --window=W --seed=S --threads=T\n"
       "  --no-prediction --rejoin --csv\n"
       "  --pairpool-stats (per-epoch pair-pool columns: pair count,\n"
@@ -219,6 +222,7 @@ int main(int argc, char** argv) {
         ParseFlag(a, "--scenario", &opt.scenario) ||
         ParseFlag(a, "--algo", &opt.algo) ||
         ParseFlag(a, "--epoch-policy", &opt.epoch_policy) ||
+        ParseFlag(a, "--index", &opt.index) ||
         ParseFlag(a, "--worker-dist", &opt.worker_dist) ||
         ParseFlag(a, "--task-dist", &opt.task_dist) ||
         ParseNumeric(a, "--workers", &opt.workers) ||
@@ -334,6 +338,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  IndexBackend index_backend = IndexBackend::kAuto;
+  if (opt.index == "brute") index_backend = IndexBackend::kBruteForce;
+  else if (opt.index == "grid") index_backend = IndexBackend::kGrid;
+  else if (opt.index == "rtree") index_backend = IndexBackend::kRTree;
+  else if (opt.index != "auto") {
+    std::fprintf(stderr, "unknown index backend: %s\n", opt.index.c_str());
+    return 2;
+  }
+
   const RangeQualityModel quality(opt.q_lo, opt.q_hi, opt.seed);
   SimulatorConfig config;
   config.budget = opt.budget;
@@ -343,11 +356,16 @@ int main(int argc, char** argv) {
   config.prediction.window = opt.window;
   config.prediction.seed = opt.seed;
   config.workers_rejoin = opt.rejoin;
-  // Results are byte-identical for any thread count (see
-  // src/exec/README.md); --threads only changes wall-clock time.
+  // Results are byte-identical for any thread count and any index
+  // backend (see src/exec/README.md and src/index/README.md); --threads
+  // and --index only change wall-clock time.
   config.num_threads = opt.threads;
+  config.index_backend = index_backend;
 
-  auto assigner = CreateAssigner(kind, {.seed = opt.seed});
+  AssignerOptions assigner_options;
+  assigner_options.seed = opt.seed;
+  assigner_options.index_backend = index_backend;
+  auto assigner = CreateAssigner(kind, assigner_options);
 
   if (opt.stream) {
     StreamingConfig sconfig;

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fails on dead relative links in the repo's Markdown files.
+
+Scans every tracked *.md file for inline Markdown links ``[text](target)``
+and verifies that each relative target exists on disk (anchors are
+stripped; pure-anchor, absolute-URL and mailto links are skipped). CI
+runs this so subsystem READMEs cannot drift into pointing at moved or
+deleted files.
+
+Usage: scripts/check_doc_links.py [repo_root]
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# The target group stops at the first unescaped ')' — none of our paths
+# contain parentheses.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown_files(root):
+    # --others picks up not-yet-committed docs; --exclude-standard keeps
+    # build trees and other ignored paths out; -z survives paths with
+    # spaces.
+    out = subprocess.run(
+        ["git", "ls-files", "-z", "--cached", "--others",
+         "--exclude-standard", "*.md", "**/*.md"],
+        cwd=root,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return sorted(set(p for p in out.stdout.split("\0") if p))
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = []
+    for md in tracked_markdown_files(root):
+        md_dir = os.path.dirname(os.path.join(root, md))
+        with open(os.path.join(root, md), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for target in LINK_RE.findall(line):
+                    if target.startswith(SKIP_PREFIXES):
+                        continue
+                    path = target.split("#", 1)[0]
+                    if not path:
+                        continue
+                    base = root if path.startswith("/") else md_dir
+                    resolved = os.path.normpath(
+                        os.path.join(base, path.lstrip("/"))
+                    )
+                    if not os.path.exists(resolved):
+                        failures.append(f"{md}:{lineno}: dead link -> {target}")
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} dead relative link(s) found.")
+        return 1
+    print("all relative Markdown links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

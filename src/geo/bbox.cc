@@ -55,6 +55,11 @@ double BBox::MaxDistance(const BBox& other) const {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+BBox Union(const BBox& a, const BBox& b) {
+  return BBox({std::min(a.lo().x, b.lo().x), std::min(a.lo().y, b.lo().y)},
+              {std::max(a.hi().x, b.hi().x), std::max(a.hi().y, b.hi().y)});
+}
+
 std::ostream& operator<<(std::ostream& os, const BBox& box) {
   return os << "[" << box.lo() << " - " << box.hi() << "]";
 }

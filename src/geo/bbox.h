@@ -67,6 +67,10 @@ class BBox {
   Point hi_;
 };
 
+/// Smallest box covering both `a` and `b`. Shared by the spatial-index
+/// backends (grid cell bounds, R-tree node boxes).
+BBox Union(const BBox& a, const BBox& b);
+
 std::ostream& operator<<(std::ostream& os, const BBox& box);
 
 }  // namespace mqa

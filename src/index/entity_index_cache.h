@@ -43,7 +43,10 @@ template <typename Entity, typename Traits>
 class EntityIndexCache {
  public:
   /// kAuto resolves to the grid backend (the cache only pays off at the
-  /// scales where the grid wins).
+  /// scales where the grid wins); any concrete backend — grid, brute,
+  /// R*-tree — passes through, so every cache instantiation (and the
+  /// streaming engine's incremental maintenance) gets new backends for
+  /// free.
   explicit EntityIndexCache(IndexBackend backend = IndexBackend::kAuto)
       : index_(CreateSpatialIndex(backend == IndexBackend::kAuto
                                       ? IndexBackend::kGrid

@@ -17,11 +17,6 @@ int AutoSide(size_t n) {
   return std::clamp(side, 1, kMaxSide);
 }
 
-BBox Union(const BBox& a, const BBox& b) {
-  return BBox({std::min(a.lo().x, b.lo().x), std::min(a.lo().y, b.lo().y)},
-              {std::max(a.hi().x, b.hi().x), std::max(a.hi().y, b.hi().y)});
-}
-
 }  // namespace
 
 GridIndex::GridIndex(int cells_per_side)

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "index/brute_force_index.h"
 #include "index/grid_index.h"
+#include "index/rtree_index.h"
 
 namespace mqa {
 
@@ -26,6 +27,8 @@ const char* IndexBackendToString(IndexBackend backend) {
       return "BRUTE";
     case IndexBackend::kGrid:
       return "GRID";
+    case IndexBackend::kRTree:
+      return "RTREE";
   }
   return "?";
 }
@@ -39,12 +42,19 @@ IndexBackend ResolveBackend(IndexBackend backend, size_t num_queries,
 }
 
 std::unique_ptr<SpatialIndex> CreateSpatialIndex(IndexBackend backend) {
-  MQA_CHECK(backend != IndexBackend::kAuto)
+  switch (backend) {
+    case IndexBackend::kBruteForce:
+      return std::make_unique<BruteForceIndex>();
+    case IndexBackend::kGrid:
+      return std::make_unique<GridIndex>();
+    case IndexBackend::kRTree:
+      return std::make_unique<RTreeIndex>();
+    case IndexBackend::kAuto:
+      break;
+  }
+  MQA_CHECK(false)
       << "resolve kAuto with ResolveBackend before creating an index";
-  return backend == IndexBackend::kBruteForce
-             ? std::unique_ptr<SpatialIndex>(
-                   std::make_unique<BruteForceIndex>())
-             : std::make_unique<GridIndex>();
+  return nullptr;
 }
 
 }  // namespace mqa

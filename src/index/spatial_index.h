@@ -23,9 +23,13 @@ enum class IndexBackend {
   /// Uniform grid with cell-bucketed entities; near-linear candidate
   /// generation when reach radii are small relative to the data space.
   kGrid,
+  /// R*-tree whose node boxes adapt to the data; the backend for skewed
+  /// (Zipf / Gaussian-cluster) distributions where the grid's fixed
+  /// resolution goes unbalanced. Never picked by kAuto — opt in.
+  kRTree,
 };
 
-/// Short display name ("AUTO", "BRUTE", "GRID").
+/// Short display name ("AUTO", "BRUTE", "GRID", "RTREE").
 const char* IndexBackendToString(IndexBackend backend);
 
 /// One indexed entity: an external id (task index, slot number, ...) and

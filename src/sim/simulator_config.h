@@ -35,7 +35,9 @@ struct SimulatorConfig {
 
   /// Spatial-index backend for valid-pair generation; the simulator
   /// always hands the assigner a task index through
-  /// ProblemInstance::task_index (kAuto resolves to the grid). With
+  /// ProblemInstance::task_index (kAuto resolves to the grid; pick
+  /// kRTree for skewed Zipf/Gaussian-cluster workloads — see
+  /// src/index/README.md). With
   /// reuse_task_index the index is maintained across time instances
   /// (insert arrivals / erase departures) so carried-over tasks are
   /// never re-bucketed; without it the index is rebuilt from scratch

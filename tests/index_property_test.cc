@@ -2,8 +2,9 @@
 // instances across velocity/deadline/budget/gamma ranges, BuildPairPool
 // must produce the *identical* pair pool (same pair order, indices,
 // costs, qualities, existence, adjacency) whichever backend enumerates
-// the candidates, including through the simulator's incrementally
-// maintained TaskIndexCache.
+// the candidates — brute force, grid, or R*-tree, sequential or sharded
+// across any thread count — including through the simulator's
+// incrementally maintained TaskIndexCache.
 
 #include <cstdint>
 #include <vector>
@@ -12,12 +13,14 @@
 
 #include "common/rng.h"
 #include "core/valid_pairs.h"
+#include "exec/parallel_runner.h"
 #include "index/grid_index.h"
 #include "index/spatial_index.h"
 #include "index/task_index_cache.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "tests/test_util.h"
+#include "workload/spatial_dist.h"
 #include "workload/synthetic.h"
 
 namespace mqa {
@@ -126,8 +129,9 @@ TEST(PairPoolBackendProperty, GridMatchesBruteForceCurrentOnly) {
         &rng, &quality, static_cast<int>(rng.UniformInt(0, 40)),
         static_cast<int>(rng.UniformInt(0, 40)), 0, 0, velocity_hi,
         deadline_hi, unit_price, budget);
-    ExpectSamePool(BuildWith(inst, IndexBackend::kBruteForce),
-                   BuildWith(inst, IndexBackend::kGrid));
+    const PairPool base = BuildWith(inst, IndexBackend::kBruteForce);
+    ExpectSamePool(base, BuildWith(inst, IndexBackend::kGrid));
+    ExpectSamePool(base, BuildWith(inst, IndexBackend::kRTree));
   }
 }
 
@@ -143,12 +147,89 @@ TEST(PairPoolBackendProperty, GridMatchesBruteForceWithPredicted) {
           static_cast<int>(rng.UniformInt(0, 10)),
           static_cast<int>(rng.UniformInt(0, 10)), rng.Uniform(0.05, 0.6),
           rng.Uniform(0.5, 2.5), rng.Uniform(0.5, 5.0), rng.Uniform(1.0, 8.0));
-      ExpectSamePool(BuildWith(inst, IndexBackend::kBruteForce),
-                     BuildWith(inst, IndexBackend::kGrid));
+      const PairPool base = BuildWith(inst, IndexBackend::kBruteForce);
+      ExpectSamePool(base, BuildWith(inst, IndexBackend::kGrid));
+      ExpectSamePool(base, BuildWith(inst, IndexBackend::kRTree));
       // WoP variant: only current entities participate.
-      ExpectSamePool(
-          BuildWith(inst, IndexBackend::kBruteForce, /*include_predicted=*/false),
-          BuildWith(inst, IndexBackend::kGrid, /*include_predicted=*/false));
+      const PairPool base_wop =
+          BuildWith(inst, IndexBackend::kBruteForce, /*include_predicted=*/false);
+      ExpectSamePool(base_wop, BuildWith(inst, IndexBackend::kGrid,
+                                         /*include_predicted=*/false));
+      ExpectSamePool(base_wop, BuildWith(inst, IndexBackend::kRTree,
+                                         /*include_predicted=*/false));
+    }
+  }
+}
+
+/// A mixed instance whose current locations follow `dist` — uniform,
+/// Zipf or Gaussian-cluster — the Fig. 18/19 regimes the R*-tree backend
+/// exists for.
+ProblemInstance SkewedMixedInstance(Rng* rng, const QualityModel* quality,
+                                    const SpatialDistConfig& dist,
+                                    int num_workers, int num_tasks,
+                                    int num_predicted) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    const Point c = SampleLocation(dist, rng);
+    workers.push_back(MakeWorker(i, c.x, c.y, rng->Uniform(0.05, 0.4)));
+  }
+  for (int i = 0; i < num_predicted; ++i) {
+    workers.push_back(MakePredictedWorker(
+        1000 + i,
+        BBox::KernelBox(SampleLocation(dist, rng), rng->Uniform(0.0, 0.15),
+                        rng->Uniform(0.0, 0.15)),
+        rng->Uniform(0.05, 0.4)));
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < num_tasks; ++j) {
+    const Point c = SampleLocation(dist, rng);
+    tasks.push_back(MakeTask(j, c.x, c.y, rng->Uniform(0.1, 2.0)));
+  }
+  for (int j = 0; j < num_predicted; ++j) {
+    tasks.push_back(MakePredictedTask(
+        1000 + j,
+        BBox::KernelBox(SampleLocation(dist, rng), rng->Uniform(0.0, 0.15),
+                        rng->Uniform(0.0, 0.15)),
+        rng->Uniform(0.1, 2.0)));
+  }
+  return ProblemInstance(std::move(workers), static_cast<size_t>(num_workers),
+                         std::move(tasks), static_cast<size_t>(num_tasks),
+                         quality, /*unit_price=*/1.0, /*budget=*/5.0);
+}
+
+TEST(PairPoolBackendProperty, AllBackendsMatchOnSkewedWorkloadsAcrossThreads) {
+  // The acceptance property of the R*-tree PR: BuildPairPool output is
+  // byte-identical across {brute, grid, rtree} on uniform, Zipf and
+  // Gaussian-cluster workloads, sequential and sharded over {2, 4, 8}
+  // threads (80 workers clears kMinShardableWorkers, so >1-thread pools
+  // take the parallel builder for real).
+  const RangeQualityModel quality(1.0, 2.0);
+  SpatialDistConfig uniform;
+  SpatialDistConfig zipf;
+  zipf.kind = SpatialDistribution::kZipf;
+  zipf.zipf_skew = 0.9;
+  SpatialDistConfig cluster;
+  cluster.kind = SpatialDistribution::kGaussian;
+  cluster.gaussian_sigma = 0.05;
+
+  Rng rng(24680);
+  for (const SpatialDistConfig& dist : {uniform, zipf, cluster}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const ProblemInstance inst =
+          SkewedMixedInstance(&rng, &quality, dist, 80, 80,
+                              static_cast<int>(rng.UniformInt(0, 12)));
+      const PairPool base = BuildWith(inst, IndexBackend::kBruteForce);
+      for (const int threads : {1, 2, 4, 8}) {
+        ParallelRunner runner(threads);
+        for (const IndexBackend backend :
+             {IndexBackend::kBruteForce, IndexBackend::kGrid,
+              IndexBackend::kRTree}) {
+          PairPoolOptions options;
+          options.backend = backend;
+          options.thread_pool = runner.pool();
+          ExpectSamePool(base, BuildPairPool(inst, options));
+        }
+      }
     }
   }
 }
@@ -183,8 +264,13 @@ TEST(PairPoolBackendProperty, ExternalIndexMatchesInternal) {
 
 TEST(TaskIndexCacheProperty, TracksEvolvingTaskSets) {
   const ConstantQualityModel quality(1.0);
+  // The cache's churn pattern must hold for every incremental backend —
+  // the R*-tree gets EntityIndexCache maintenance for free through the
+  // same Insert/Erase contract the grid satisfies.
+  for (const IndexBackend backend :
+       {IndexBackend::kGrid, IndexBackend::kRTree}) {
   Rng rng(777);
-  TaskIndexCache cache(IndexBackend::kGrid);
+  TaskIndexCache cache(backend);
 
   // An evolving task pool: each "instance" removes a random subset
   // (assigned/expired), carries the rest, appends arrivals, and tacks on
@@ -225,6 +311,7 @@ TEST(TaskIndexCacheProperty, TracksEvolvingTaskSets) {
     inst.set_task_index(cache.view());
     ExpectSamePool(brute, BuildPairPool(inst, PairPoolOptions{}));
   }
+  }
 }
 
 TEST(SimulatorIndexProperty, BackendsProduceIdenticalRuns) {
@@ -253,7 +340,7 @@ TEST(SimulatorIndexProperty, BackendsProduceIdenticalRuns) {
   for (const bool reuse : {false, true}) {
     for (const IndexBackend backend :
          {IndexBackend::kBruteForce, IndexBackend::kGrid,
-          IndexBackend::kAuto}) {
+          IndexBackend::kRTree, IndexBackend::kAuto}) {
       const SimulationSummary other = run(backend, reuse);
       EXPECT_EQ(base.total_assigned, other.total_assigned);
       EXPECT_EQ(base.total_quality, other.total_quality);
