@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mqa {
 namespace bench {
@@ -123,6 +125,10 @@ std::vector<VariantResult> RunAllVariants(const ArrivalStream& stream,
 }
 
 void PrintHeader(const std::string& title) {
+  // Every bench calls this first, so MQA_TRACE / MQA_METRICS_JSON work on
+  // all of them without per-bench plumbing.
+  Tracer::InitFromEnv();
+  MetricsRegistry::InitFromEnv();
   std::printf("=== %s ===\n", title.c_str());
   std::printf("(workload scale %.2f of the paper's; set MQA_BENCH_SCALE=1 "
               "for full scale)\n\n",

@@ -37,6 +37,8 @@
 #include "core/valid_pairs.h"
 #include "exec/pair_arena.h"
 #include "index/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
 #include "workload/spatial_dist.h"
@@ -452,6 +454,8 @@ void RunSkewPhase(const std::vector<int>& sizes, int max_n) {
 }  // namespace mqa
 
 int main() {
+  mqa::Tracer::InitFromEnv();
+  mqa::MetricsRegistry::InitFromEnv();
   int max_n = 50000;
   if (const char* cap = std::getenv("MQA_INDEX_BENCH_MAX")) {
     max_n = std::atoi(cap);

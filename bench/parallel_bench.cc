@@ -24,6 +24,8 @@
 #include "core/greedy.h"
 #include "core/valid_pairs.h"
 #include "exec/parallel_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
 
@@ -117,6 +119,8 @@ Measured MeasureAt(const ProblemInstance& instance, int threads, int reps) {
 
 int main() {
   using namespace mqa;
+  Tracer::InitFromEnv();
+  MetricsRegistry::InitFromEnv();
 
   int n = 10000;
   if (const char* env = std::getenv("MQA_PARALLEL_BENCH_N")) {

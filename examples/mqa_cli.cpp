@@ -17,6 +17,8 @@
 
 #include "core/assigner.h"
 #include "exec/parallel_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "stream/streaming_simulator.h"
@@ -55,9 +57,35 @@ struct CliOptions {
   bool rejoin = false;
   bool csv = false;
   bool pairpool_stats = false;
+  bool phase_timing = false;
   uint64_t seed = 42;
   int threads = 1;
+  std::string trace_file;    // Chrome trace-event JSON (Perfetto)
+  std::string metrics_file;  // metrics-registry JSON export
 };
+
+/// Writes the requested trace / metrics files after the run. Returns the
+/// run's exit code, or 1 if a requested export failed (a bad path must
+/// not silently swallow the observability the user asked for).
+int FinishObservability(const CliOptions& opt, int rc) {
+  if (!opt.trace_file.empty()) {
+    const Status status = Tracer::Get().WriteJsonFile(opt.trace_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", status.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!opt.metrics_file.empty()) {
+    const Status status =
+        MetricsRegistry::Get().WriteJsonFile(opt.metrics_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics-json: %s\n",
+                   status.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t len = std::strlen(name);
@@ -94,7 +122,11 @@ void PrintUsage() {
       "  --gamma=G --window=W --seed=S --threads=T\n"
       "  --no-prediction --rejoin --csv\n"
       "  --pairpool-stats (per-epoch pair-pool columns: pair count,\n"
-      "      bytes/pair, arena slabs, lazily-skipped sampling fraction)\n");
+      "      bytes/pair, arena slabs, lazily-skipped sampling fraction)\n"
+      "  --phase-timing (per-epoch phase wall-time CSV columns)\n"
+      "  --trace=FILE (Chrome trace-event JSON of the epoch lifecycle,\n"
+      "      loadable in Perfetto; see docs/OBSERVABILITY.md)\n"
+      "  --metrics-json=FILE (counters/gauges/histograms as JSON)\n");
 }
 
 void PrintPoolStatsHeader() {
@@ -115,6 +147,20 @@ void PrintPoolStatsCsvValues(const InstanceMetrics& m) {
               static_cast<long long>(m.pool_bytes),
               static_cast<long long>(m.pool_arena_slabs),
               m.pool_lazy_skipped_fraction);
+}
+
+// Per-epoch phase wall-time breakdown (--phase-timing). Timing fields are
+// execution state, not results: excluded from the byte-identity contract.
+void PrintPhaseCsvColumns() {
+  std::printf(
+      ",predict_seconds,assemble_seconds,index_seconds,assign_seconds,"
+      "validate_seconds,apply_seconds,pool_build_seconds");
+}
+
+void PrintPhaseCsvValues(const InstanceMetrics& m) {
+  std::printf(",%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f", m.predict_seconds,
+              m.assemble_seconds, m.index_seconds, m.assign_seconds,
+              m.validate_seconds, m.apply_seconds, m.pool_build_seconds);
 }
 
 void PrintPoolStatsRow(const InstanceMetrics& m) {
@@ -153,13 +199,14 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
     std::printf(
         "epoch,time,ingested_workers,ingested_tasks,backlog_before,"
         "backlog_after,coverable,expired,assigned,quality,cost,"
-        "latency_seconds,mean_queue_wait");
+        "latency_seconds,mean_queue_wait,fire_reason");
+    if (opt.phase_timing) PrintPhaseCsvColumns();
     if (opt.pairpool_stats) PrintPoolStatsCsvColumns();
     std::printf("\n");
     for (const EpochStreamMetrics& e : s.per_epoch) {
       std::printf(
           "%lld,%.4f,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,"
-          "%.4f",
+          "%.4f,%s",
           static_cast<long long>(e.instance.instance), e.epoch_time,
           static_cast<long long>(e.ingested_workers),
           static_cast<long long>(e.ingested_tasks),
@@ -168,19 +215,21 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
           static_cast<long long>(e.coverable_backlog),
           static_cast<long long>(e.expired),
           static_cast<long long>(e.instance.assigned), e.instance.quality,
-          e.instance.cost, e.instance.cpu_seconds, e.mean_queue_wait);
+          e.instance.cost, e.instance.cpu_seconds, e.mean_queue_wait,
+          EpochFireReasonToString(e.fire_reason));
+      if (opt.phase_timing) PrintPhaseCsvValues(e.instance);
       if (opt.pairpool_stats) PrintPoolStatsCsvValues(e.instance);
       std::printf("\n");
     }
     return 0;
   }
 
-  std::printf("%5s %8s %7s/%-6s %8s %8s %6s %8s %9s %8s\n", "epoch", "time",
-              "in.w", "in.t", "backlog", "covered", "expir", "assigned",
-              "latency", "wait");
+  std::printf("%5s %8s %7s/%-6s %8s %8s %6s %8s %9s %8s %s\n", "epoch",
+              "time", "in.w", "in.t", "backlog", "covered", "expir",
+              "assigned", "latency", "wait", "reason");
   for (const EpochStreamMetrics& e : s.per_epoch) {
     std::printf(
-        "%5lld %8.2f %7lld/%-6lld %8lld %8lld %6lld %8lld %9.4f %8.2f\n",
+        "%5lld %8.2f %7lld/%-6lld %8lld %8lld %6lld %8lld %9.4f %8.2f %s\n",
         static_cast<long long>(e.instance.instance), e.epoch_time,
         static_cast<long long>(e.ingested_workers),
         static_cast<long long>(e.ingested_tasks),
@@ -188,7 +237,7 @@ int RunStreaming(const CliOptions& opt, const StreamingConfig& config,
         static_cast<long long>(e.coverable_backlog),
         static_cast<long long>(e.expired),
         static_cast<long long>(e.instance.assigned), e.instance.cpu_seconds,
-        e.mean_queue_wait);
+        e.mean_queue_wait, EpochFireReasonToString(e.fire_reason));
   }
   std::printf(
       "\n%zu epochs | total quality %.1f | total cost %.1f | assigned %lld | "
@@ -225,6 +274,8 @@ int main(int argc, char** argv) {
         ParseFlag(a, "--index", &opt.index) ||
         ParseFlag(a, "--worker-dist", &opt.worker_dist) ||
         ParseFlag(a, "--task-dist", &opt.task_dist) ||
+        ParseFlag(a, "--trace", &opt.trace_file) ||
+        ParseFlag(a, "--metrics-json", &opt.metrics_file) ||
         ParseNumeric(a, "--workers", &opt.workers) ||
         ParseNumeric(a, "--tasks", &opt.tasks) ||
         ParseNumeric(a, "--instances", &opt.instances) ||
@@ -256,6 +307,8 @@ int main(int argc, char** argv) {
       opt.csv = true;
     } else if (std::strcmp(a, "--pairpool-stats") == 0) {
       opt.pairpool_stats = true;
+    } else if (std::strcmp(a, "--phase-timing") == 0) {
+      opt.phase_timing = true;
     } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage();
       return 0;
@@ -264,6 +317,14 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  // Tracing/metrics must be live before the simulators run; the trusted
+  // contract is that enabling them never changes assignments or scores
+  // (tests/obs_property_test.cc).
+  if (!opt.trace_file.empty()) {
+    Tracer::Get().Enable();
+    Tracer::Get().SetCurrentThreadName("main");
   }
 
   ScenarioKind scenario_kind = ScenarioKind::kPaper;
@@ -412,8 +473,10 @@ int main(int argc, char** argv) {
                   EpochPolicyKindToString(sconfig.policy.kind), opt.budget,
                   opt.prediction ? "WP" : "WoP");
     }
-    return RunStreaming(opt, sconfig, std::move(queue), assigner.get(),
-                        quality);
+    return FinishObservability(
+        opt,
+        RunStreaming(opt, sconfig, std::move(queue), assigner.get(),
+                     quality));
   }
 
   Simulator sim(config, &quality);
@@ -421,7 +484,7 @@ int main(int argc, char** argv) {
   if (!summary.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n",
                  summary.status().ToString().c_str());
-    return 1;
+    return FinishObservability(opt, 1);
   }
   const SimulationSummary& s = summary.value();
 
@@ -429,6 +492,7 @@ int main(int argc, char** argv) {
     std::printf(
         "instance,workers,tasks,predicted_workers,predicted_tasks,"
         "assigned,quality,cost,cpu_seconds,worker_pred_err,task_pred_err");
+    if (opt.phase_timing) PrintPhaseCsvColumns();
     if (opt.pairpool_stats) PrintPoolStatsCsvColumns();
     std::printf("\n");
     for (const InstanceMetrics& m : s.per_instance) {
@@ -441,10 +505,11 @@ int main(int argc, char** argv) {
                   static_cast<long long>(m.assigned), m.quality, m.cost,
                   m.cpu_seconds, m.worker_prediction_error,
                   m.task_prediction_error);
+      if (opt.phase_timing) PrintPhaseCsvValues(m);
       if (opt.pairpool_stats) PrintPoolStatsCsvValues(m);
       std::printf("\n");
     }
-    return 0;
+    return FinishObservability(opt, 0);
   }
 
   std::printf("%s on %s (%lld workers, %lld tasks, R=%d, B=%.0f, C=%.0f, "
@@ -480,5 +545,5 @@ int main(int argc, char** argv) {
     PrintPoolStatsHeader();
     for (const InstanceMetrics& m : s.per_instance) PrintPoolStatsRow(m);
   }
-  return 0;
+  return FinishObservability(opt, 0);
 }

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file emitted by mqa's tracer.
+
+Checks, in order:
+  1. The file parses as JSON and has the trace-event envelope
+     (displayTimeUnit, traceEvents list).
+  2. Every "X" event carries the required keys (name, cat, ph, ts, dur,
+     pid, tid) with sane types and non-negative durations.
+  3. Per thread, spans nest: any two spans either don't overlap in time
+     or one contains the other (a partial overlap means broken RAII
+     pairing or a non-monotonic clock).
+  4. Optionally (--require-span, repeatable): the named span occurs at
+     least once.
+  5. Optionally (--min-coverage P): within every "epoch" / "stream/epoch"
+     span, its direct phase children cover at least P percent of the
+     epoch's duration — the "the trace explains where the time went"
+     acceptance bar.
+
+Also validates a metrics JSON export when given via --metrics (parses,
+has counters/gauges/histograms objects, histogram stats are coherent).
+
+Exit 0 when everything holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_X_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+# Spans treated as epoch roots for the coverage check.
+EPOCH_SPAN_NAMES = ("epoch", "stream/epoch")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc or not isinstance(doc["traceEvents"], list):
+        raise ValueError("missing traceEvents array")
+    if "displayTimeUnit" not in doc:
+        raise ValueError("missing displayTimeUnit")
+    return doc
+
+
+def check_events(events):
+    """Returns (spans_by_tid, errors). Spans are (start, end, name)."""
+    errors = []
+    by_tid = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue  # metadata (thread_name)
+        if ph != "X":
+            errors.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        for key in REQUIRED_X_KEYS:
+            if key not in e:
+                errors.append(f"event {i} ({e.get('name')}): missing '{key}'")
+        ts, dur = e.get("ts"), e.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(
+                dur, (int, float)):
+            errors.append(f"event {i} ({e.get('name')}): non-numeric ts/dur")
+            continue
+        if dur < 0:
+            errors.append(f"event {i} ({e.get('name')}): negative dur {dur}")
+            continue
+        by_tid.setdefault(e["tid"], []).append((ts, ts + dur, e["name"]))
+    return by_tid, errors
+
+
+def check_nesting(by_tid, epsilon=0.002):
+    """Any two spans on one thread must be disjoint or nested.
+
+    epsilon (us) absorbs the sub-nanosecond truncation of the exporter's
+    fixed-precision timestamps.
+    """
+    errors = []
+    for tid, spans in by_tid.items():
+        # Start-ascending, duration-descending: a parent sharing its
+        # child's start time must be visited first.
+        ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in ordered:
+            while stack and stack[-1][1] <= start + epsilon:
+                stack.pop()
+            if stack and end > stack[-1][1] + epsilon:
+                errors.append(
+                    f"tid {tid}: span '{name}' [{start}, {end}] partially "
+                    f"overlaps '{stack[-1][2]}' [{stack[-1][0]}, "
+                    f"{stack[-1][1]}]")
+            stack.append((start, end, name))
+    return errors
+
+
+def check_coverage(by_tid, min_coverage):
+    """Direct children of every epoch span must cover >= min_coverage %."""
+    errors = []
+    checked = 0
+    for tid, spans in by_tid.items():
+        ordered = sorted(spans)
+        epochs = [s for s in ordered if s[2] in EPOCH_SPAN_NAMES]
+        for estart, eend, ename in epochs:
+            if eend - estart <= 0:
+                continue
+            # Direct children: contained in the epoch but not in another
+            # contained epoch-child candidate. For coverage, summing the
+            # union of all strictly-contained non-epoch spans' top level
+            # is enough: take contained spans, merge intervals.
+            contained = [(s, e) for s, e, n in ordered
+                         if n not in EPOCH_SPAN_NAMES and s >= estart and
+                         e <= eend]
+            merged = []
+            for s, e in sorted(contained):
+                if merged and s <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+                else:
+                    merged.append((s, e))
+            covered = sum(e - s for s, e in merged)
+            pct = 100.0 * covered / (eend - estart)
+            checked += 1
+            if pct < min_coverage:
+                errors.append(
+                    f"tid {tid}: '{ename}' at {estart} only {pct:.1f}% "
+                    f"covered by phase spans (need {min_coverage}%)")
+    if checked == 0 and min_coverage > 0:
+        errors.append("no epoch spans found to check coverage on")
+    return errors
+
+
+def check_metrics(path):
+    errors = []
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"metrics: missing '{section}' object")
+    for name, h in doc.get("histograms", {}).items():
+        if not isinstance(h, dict):
+            errors.append(f"metrics: histogram {name} is not an object")
+            continue
+        for key in ("count", "sum", "mean", "min", "max", "p50", "p90",
+                    "p99"):
+            if key not in h:
+                errors.append(f"metrics: histogram {name} missing '{key}'")
+        if h.get("count", 0) > 0 and None not in (h.get("min"), h.get("max")):
+            if h["min"] > h["max"]:
+                errors.append(f"metrics: histogram {name} min > max")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", help="metrics JSON export to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="span name that must occur at least once")
+    parser.add_argument("--min-coverage", type=float, default=0.0,
+                        help="min %% of each epoch span covered by phase "
+                             "spans (0 disables)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of X events expected")
+    args = parser.parse_args()
+
+    try:
+        doc = load_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: {e}")
+
+    by_tid, errors = check_events(doc["traceEvents"])
+    errors.extend(check_nesting(by_tid))
+
+    num_spans = sum(len(s) for s in by_tid.values())
+    if num_spans < args.min_events:
+        errors.append(f"only {num_spans} spans (expected >= "
+                      f"{args.min_events})")
+
+    names = {n for spans in by_tid.values() for _, _, n in spans}
+    for required in args.require_span:
+        if required not in names:
+            errors.append(f"required span '{required}' never occurred "
+                          f"(have: {sorted(names)})")
+
+    if args.min_coverage > 0:
+        errors.extend(check_coverage(by_tid, args.min_coverage))
+
+    if args.metrics:
+        try:
+            errors.extend(check_metrics(args.metrics))
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{args.metrics}: {e}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {num_spans} spans on {len(by_tid)} threads"
+          + (f", metrics valid" if args.metrics else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,41 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 
 namespace mqa {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Startup level: MQA_LOG_LEVEL (name or 0-4) when set, else kInfo.
+int InitialLogLevel() {
+  const char* env = std::getenv("MQA_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  std::string lower(env);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (lower == "info") return static_cast<int>(LogLevel::kInfo);
+  if (lower == "warning" || lower == "warn") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (lower == "error") return static_cast<int>(LogLevel::kError);
+  if (lower == "fatal") return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+// Meyers singleton so a static constructor that logs before main still
+// sees the env-derived level instead of racing static initialization.
+std::atomic<int>& LogLevelFlag() {
+  static std::atomic<int> level{InitialLogLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,9 +54,13 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LogLevelFlag().load());
+}
 
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  LogLevelFlag().store(static_cast<int>(level));
+}
 
 namespace internal {
 
@@ -37,7 +71,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // kWarning and above go to stderr so piping structured stdout
+    // (mqa_cli --csv) stays clean even when the library complains;
+    // chatty levels stay on stdout with the tool output they annotate.
+    std::ostream& out =
+        level_ >= LogLevel::kWarning ? std::cerr : std::cout;
+    out << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -12,7 +12,9 @@ namespace mqa {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Process-wide minimum level below which messages are dropped.
-/// Defaults to kInfo; benchmarks raise it to kWarning to keep output clean.
+/// Defaults to kInfo, overridable at startup via the MQA_LOG_LEVEL
+/// environment variable (debug|info|warning|error|fatal, or 0-4);
+/// benchmarks raise it to kWarning to keep output clean.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
@@ -59,6 +61,17 @@ struct NullStream {
   MQA_LOG_INTERNAL(::mqa::LogLevel::kFatal)                      \
       << "Check failed: " #condition " "
 
+/// Debug-only check for hot-loop invariants (per-pair bounds and the
+/// like). Compiles out under NDEBUG via a constant-false branch: the
+/// condition still typechecks but is never evaluated, so it may not
+/// carry side effects.
+#if defined(NDEBUG)
+#define MQA_DCHECK(condition)                                    \
+  if (false && !(condition))                                     \
+  MQA_LOG_INTERNAL(::mqa::LogLevel::kFatal)                      \
+      << "Check failed: " #condition " "
+#else
 #define MQA_DCHECK(condition) MQA_CHECK(condition)
+#endif
 
 #endif  // MQA_COMMON_LOGGING_H_

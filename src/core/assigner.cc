@@ -6,6 +6,7 @@
 #include "core/random_assigner.h"
 #include "core/valid_pairs.h"
 #include "exec/parallel_runner.h"
+#include "obs/trace.h"
 
 namespace mqa {
 
@@ -54,6 +55,7 @@ class GreedyAssigner : public OptionsAssigner {
       : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    MQA_TRACE_SPAN("assign/greedy");
     return RunGreedy(instance, options_.delta, PoolOptions());
   }
 
@@ -66,6 +68,7 @@ class DivideConquerAssigner : public OptionsAssigner {
       : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    MQA_TRACE_SPAN("assign/dc");
     return RunDivideConquer(instance, options_.delta, options_.dc_branching,
                             PoolOptions());
   }
@@ -79,6 +82,7 @@ class RandomAssigner : public OptionsAssigner {
       : OptionsAssigner(options), next_seed_(options.seed) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    MQA_TRACE_SPAN("assign/random");
     return RunRandom(instance, options_.delta, next_seed_++, PoolOptions());
   }
 
@@ -94,6 +98,7 @@ class ExactAssigner : public OptionsAssigner {
       : OptionsAssigner(options) {}
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    MQA_TRACE_SPAN("assign/exact");
     return RunExact(instance, kExactMaxEntities, PoolOptions());
   }
 

@@ -10,6 +10,7 @@
 #include "core/merge.h"
 #include "core/valid_pairs.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace mqa {
 
@@ -67,6 +68,10 @@ std::vector<int32_t> SolveRecursive(const ProblemInstance& instance,
                                     int branching, int depth,
                                     ThreadPool* exec) {
   MQA_CHECK(depth < 64) << "divide-and-conquer recursion too deep";
+  // Spans only for nodes big enough to fan out — the same threshold as
+  // the parallel schedule, so leaf-sized nodes stay span-free.
+  MQA_TRACE_SPAN_IF(problem.num_tasks() >= kMinParallelTasksPerNode,
+                    "dc/node", static_cast<int64_t>(problem.num_tasks()));
   if (problem.task_indices.empty()) return {};
   if (problem.num_tasks() == 1) {
     // Leaf: pick the best worker for the single task greedily (Fig. 9
@@ -101,14 +106,21 @@ std::vector<int32_t> SolveRecursive(const ProblemInstance& instance,
   }
 
   std::vector<int32_t> merged;
-  for (const std::vector<int32_t>& result : results) {
-    MergeResults(pool, &merged, result);
+  {
+    MQA_TRACE_SPAN_IF(problem.num_tasks() >= kMinParallelTasksPerNode,
+                      "dc/merge", static_cast<int64_t>(subproblems.size()));
+    for (const std::vector<int32_t>& result : results) {
+      MergeResults(pool, &merged, result);
+    }
   }
 
   // Fig. 9 lines 12-15: budget adjustment.
   if (WithinBudgetUpperBound(pool, merged, instance.budget())) {
     return merged;
   }
+  MQA_TRACE_SPAN_IF(problem.num_tasks() >= kMinParallelTasksPerNode,
+                    "dc/budget_reselect",
+                    static_cast<int64_t>(merged.size()));
   return GreedyOver(instance, pool, merged, delta);
 }
 

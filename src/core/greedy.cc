@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "core/candidate_set.h"
 #include "core/selection.h"
+#include "obs/trace.h"
 
 namespace mqa {
 
@@ -12,6 +13,10 @@ void GreedySelect(const PairPool& pool, const std::vector<int32_t>& pair_ids,
                   std::vector<char>* worker_used, std::vector<char>* task_used,
                   BudgetTracker* budget, std::vector<int32_t>* selected) {
   std::vector<int32_t> active = pair_ids;
+  // Span only above a real working set: GreedySelect is also the D&C leaf
+  // solver, and a span per leaf would explode the trace.
+  MQA_TRACE_SPAN_IF(active.size() >= 1024, "greedy/select",
+                    static_cast<int64_t>(active.size()));
   // Offer strong pairs first: the candidate set then rejects most later
   // offers on their first dominance check, which keeps each greedy
   // iteration close to linear in |active|.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace mqa {
 
@@ -66,6 +67,7 @@ size_t LazyPairStats::EntryIndex(PairQualityKind kind, int32_t worker,
 
 void LazyPairStats::EnsureStats() const {
   std::call_once(stats_once_, [this] {
+    MQA_TRACE_SPAN("pool/stats_replay");
     stats_ = std::make_unique<PairStatistics>(
         num_current_workers_, num_current_tasks_, worker_col_, task_col_,
         fixed_quality_col_, num_pairs_);
@@ -191,6 +193,7 @@ PairPool& PairPool::operator=(PairPool&& other) noexcept {
   owned_arena_ = std::move(other.owned_arena_);
   arena_ = other.arena_;
   stats_sink_ = other.stats_sink_;
+  build_seconds_ = other.build_seconds_;
 
   other.num_pairs_ = 0;
   other.num_workers_ = 0;
@@ -212,6 +215,7 @@ PairPool& PairPool::operator=(PairPool&& other) noexcept {
   other.by_worker_ = nullptr;
   other.arena_ = nullptr;
   other.stats_sink_ = nullptr;
+  other.build_seconds_ = 0.0;
   return *this;
 }
 
@@ -294,6 +298,7 @@ void PairPool::MaterializeAllStats() const {
 PairPoolStats PairPool::Stats() const {
   PairPoolStats stats;
   stats.pairs = static_cast<int64_t>(num_pairs_);
+  stats.build_seconds = build_seconds_;
 
   int64_t column_bytes = 0;
   if (num_pairs_ > 0) {
@@ -389,6 +394,7 @@ void PairPoolBuilder::AllocateColumns(size_t num_pairs,
 }
 
 void PairPoolBuilder::BuildCsr() {
+  MQA_TRACE_SPAN("pool/csr");
   PairArena* arena = pool_.arena_;
   const size_t n = pool_.num_pairs_;
   const size_t num_tasks = pool_.num_tasks_;

@@ -42,6 +42,11 @@ struct PairPoolStats {
   int64_t pairs = 0;
   int64_t predicted_pairs = 0;
 
+  /// Wall-clock seconds spent inside BuildPairPool (0 for hand-built
+  /// pools). Execution state, like the arena fields — excluded from the
+  /// byte-identity contract.
+  double build_seconds = 0.0;
+
   /// Bytes of the columns + CSR adjacency (+ explicit side table).
   int64_t pool_bytes = 0;
 
@@ -276,6 +281,9 @@ class PairPool {
   /// the backing arena was Reset).
   void set_stats_sink(PairPoolStats* sink) { stats_sink_ = sink; }
 
+  /// Build wall time, recorded by BuildPairPool and surfaced via Stats().
+  void set_build_seconds(double s) { build_seconds_ = s; }
+
   /// Takes ownership of the arena the columns were allocated from
   /// (BuildPairPool's private-arena fallback).
   void AdoptArena(std::unique_ptr<PairArena> arena);
@@ -321,6 +329,7 @@ class PairPool {
   std::unique_ptr<PairArena> owned_arena_;
   PairArena* arena_ = nullptr;  // owned_arena_.get() or the caller's
   PairPoolStats* stats_sink_ = nullptr;
+  double build_seconds_ = 0.0;
 };
 
 /// A lightweight view of one pool pair — the successor of the materialized

@@ -1,10 +1,13 @@
 #include "core/valid_pairs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "exec/pair_arena.h"
 #include "exec/region_sharder.h"
 #include "exec/thread_pool.h"
@@ -136,6 +139,7 @@ PairPool BuildPairPoolSharded(const ProblemInstance& instance,
   for (size_t i = 0; i < num_workers; ++i) candidates[i] = {};
 
   pool->ParallelFor(static_cast<int64_t>(num_shards), [&](int64_t s) {
+    MQA_TRACE_SPAN_ARG("pool/shard_scan", s);
     const RegionShard& shard = plan.shards[static_cast<size_t>(s)];
     PairArena* shard_arena = arena->shard(static_cast<size_t>(s));
     const SpatialIndex* index = prebuilt;
@@ -175,14 +179,17 @@ PairPool BuildPairPoolSharded(const ProblemInstance& instance,
                           instance.num_current_workers(),
                           instance.num_current_tasks(), offsets[num_workers],
                           arena, has_predicted);
-  pool->ParallelFor(static_cast<int64_t>(num_workers), [&](int64_t wi) {
-    const size_t i = static_cast<size_t>(wi);
-    size_t at = offsets[i];
-    const WorkerCandidates& wc = candidates[i];
-    for (size_t k = 0; k < wc.count; ++k) {
-      FillPairSlot(instance, &builder, at++, i, wc.data[k]);
-    }
-  });
+  {
+    MQA_TRACE_SPAN("pool/fill");
+    pool->ParallelFor(static_cast<int64_t>(num_workers), [&](int64_t wi) {
+      const size_t i = static_cast<size_t>(wi);
+      size_t at = offsets[i];
+      const WorkerCandidates& wc = candidates[i];
+      for (size_t k = 0; k < wc.count; ++k) {
+        FillPairSlot(instance, &builder, at++, i, wc.data[k]);
+      }
+    });
+  }
   return std::move(builder).Build();
 }
 
@@ -215,11 +222,14 @@ PairPool BuildPairPoolSequential(const ProblemInstance& instance,
   ArenaVector<Candidate> buffer(arena);
   size_t* offsets = arena->AllocateArray<size_t>(num_workers + 1);
   offsets[0] = 0;
-  std::vector<std::pair<int32_t, double>> scratch;
-  for (size_t i = 0; i < num_workers; ++i) {
-    CollectCandidates(instance, model, *index, i, max_deadline, num_tasks,
-                      &scratch, &buffer);
-    offsets[i + 1] = buffer.size();
+  {
+    MQA_TRACE_SPAN("pool/scan");
+    std::vector<std::pair<int32_t, double>> scratch;
+    for (size_t i = 0; i < num_workers; ++i) {
+      CollectCandidates(instance, model, *index, i, max_deadline, num_tasks,
+                        &scratch, &buffer);
+      offsets[i + 1] = buffer.size();
+    }
   }
 
   // Pass 2: fill the columns in place.
@@ -227,9 +237,12 @@ PairPool BuildPairPoolSequential(const ProblemInstance& instance,
                           instance.num_current_workers(),
                           instance.num_current_tasks(), offsets[num_workers],
                           arena, has_predicted);
-  for (size_t i = 0; i < num_workers; ++i) {
-    for (size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
-      FillPairSlot(instance, &builder, k, i, buffer[k]);
+  {
+    MQA_TRACE_SPAN("pool/fill");
+    for (size_t i = 0; i < num_workers; ++i) {
+      for (size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        FillPairSlot(instance, &builder, k, i, buffer[k]);
+      }
     }
   }
   return std::move(builder).Build();
@@ -285,6 +298,8 @@ PairPool BuildPairPool(const ProblemInstance& instance,
   ThreadPool* thread_pool = options.thread_pool != nullptr
                                 ? options.thread_pool
                                 : instance.thread_pool();
+  const auto t_build = std::chrono::steady_clock::now();
+  MQA_TRACE_SPAN("pool/build");
   PairPool pool =
       (thread_pool != nullptr && thread_pool->num_threads() > 1 &&
        num_workers >= kMinShardableWorkers)
@@ -294,6 +309,10 @@ PairPool BuildPairPool(const ProblemInstance& instance,
           : BuildPairPoolSequential(instance, options, prebuilt, num_workers,
                                     num_tasks, max_deadline, has_predicted,
                                     arena);
+  pool.set_build_seconds(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t_build)
+                             .count());
+  MQA_METRIC_COUNT("mqa.pool.pairs_total", static_cast<int64_t>(pool.size()));
   if (owned_arena != nullptr) pool.AdoptArena(std::move(owned_arena));
   pool.set_stats_sink(options.stats_sink != nullptr ? options.stats_sink
                                                     : instance.pool_stats());

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace mqa {
 
@@ -38,7 +41,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int spawned = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(static_cast<size_t>(spawned));
   for (int t = 0; t < spawned; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
   }
 }
 
@@ -51,7 +54,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+#if !defined(MQA_OBS_DISABLED)
+  // Label this thread's track in trace exports (worker 0 is the first
+  // *spawned* thread; the calling thread participates under its own name).
+  Tracer::Get().SetCurrentThreadName("worker-" +
+                                     std::to_string(worker_index));
+#else
+  (void)worker_index;
+#endif
   for (;;) {
     std::function<void()> task;
     {
@@ -61,6 +72,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    MQA_TRACE_SPAN("exec/task");
     task();
   }
 }

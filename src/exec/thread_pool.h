@@ -52,7 +52,7 @@ class ThreadPool {
  private:
   struct ForState;
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -87,15 +87,16 @@ Uncertain PairStatistics::FromStats(const RunningStats& s) {
 }
 
 Uncertain PairStatistics::QualityCase1(int32_t task_index) const {
-  MQA_CHECK(task_index >= 0 &&
-            static_cast<size_t>(task_index) < num_current_tasks_)
+  // Per-materialized-pair hot path: bounds-checked only in debug builds.
+  MQA_DCHECK(task_index >= 0 &&
+             static_cast<size_t>(task_index) < num_current_tasks_)
       << "Case 1 requires a current task";
   return FromStats(per_task_[static_cast<size_t>(task_index)]);
 }
 
 Uncertain PairStatistics::QualityCase2(int32_t worker_index) const {
-  MQA_CHECK(worker_index >= 0 &&
-            static_cast<size_t>(worker_index) < num_current_workers_)
+  MQA_DCHECK(worker_index >= 0 &&
+             static_cast<size_t>(worker_index) < num_current_workers_)
       << "Case 2 requires a current worker";
   return FromStats(per_worker_[static_cast<size_t>(worker_index)]);
 }

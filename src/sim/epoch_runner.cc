@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "core/pair_pool.h"
 #include "model/assignment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prediction/grid.h"
 
 namespace mqa {
@@ -63,11 +65,24 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
   InstanceMetrics& metrics = outcome.metrics;
   metrics.instance = epoch_index;
 
+  MQA_TRACE_SPAN_ARG("epoch", epoch_index);
+  MQA_METRIC_COUNT("mqa.epoch.count", 1);
+
   const auto t_start = std::chrono::steady_clock::now();
+  // Phase stopwatch: each TakePhase() returns the seconds since the last
+  // call (or t_start) and restarts the lap.
+  auto t_phase = t_start;
+  const auto TakePhase = [&t_phase] {
+    const auto now = std::chrono::steady_clock::now();
+    const double lap = std::chrono::duration<double>(now - t_phase).count();
+    t_phase = now;
+    return lap;
+  };
 
   // --- Prediction bookkeeping + next-epoch prediction (Fig. 3 line 4). ---
   Prediction prediction;
   if (config_.use_prediction) {
+    MQA_TRACE_SPAN("epoch/predict");
     // Score the previous epoch's prediction against today's actuals.
     if (!prev_pred_worker_counts_.empty()) {
       std::vector<Point> worker_points;
@@ -92,27 +107,43 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
     }
   }
 
+  metrics.predict_seconds = TakePhase();
+
   // --- Assemble the assigner input (current first, then predicted). ---
-  std::vector<Worker> inst_workers = available_workers;
-  std::vector<Task> inst_tasks = available_tasks;
-  const size_t num_current_workers = inst_workers.size();
-  const size_t num_current_tasks = inst_tasks.size();
-  inst_workers.insert(inst_workers.end(), prediction.workers.begin(),
-                      prediction.workers.end());
-  inst_tasks.insert(inst_tasks.end(), prediction.tasks.begin(),
-                    prediction.tasks.end());
+  std::vector<Worker> inst_workers;
+  std::vector<Task> inst_tasks;
+  size_t num_current_workers = 0;
+  size_t num_current_tasks = 0;
+  {
+    MQA_TRACE_SPAN("epoch/assemble");
+    inst_workers = available_workers;
+    inst_tasks = available_tasks;
+    num_current_workers = inst_workers.size();
+    num_current_tasks = inst_tasks.size();
+    inst_workers.insert(inst_workers.end(), prediction.workers.begin(),
+                        prediction.workers.end());
+    inst_tasks.insert(inst_tasks.end(), prediction.tasks.begin(),
+                      prediction.tasks.end());
+  }
   metrics.workers_available = static_cast<int64_t>(num_current_workers);
   metrics.tasks_available = static_cast<int64_t>(num_current_tasks);
   metrics.predicted_workers = static_cast<int64_t>(prediction.workers.size());
   metrics.predicted_tasks = static_cast<int64_t>(prediction.tasks.size());
+  metrics.assemble_seconds = TakePhase();
 
-  if (!config_.reuse_task_index) {
-    task_index_cache_ = std::make_unique<TaskIndexCache>(config_.index_backend);
+  {
+    MQA_TRACE_SPAN("epoch/index");
+    if (!config_.reuse_task_index) {
+      task_index_cache_ =
+          std::make_unique<TaskIndexCache>(config_.index_backend);
+    }
+    task_index_cache_->BeginInstance(inst_tasks);
+    if (worker_index_cache_) {
+      worker_index_cache_->BeginInstance(inst_workers);
+    }
   }
-  task_index_cache_->BeginInstance(inst_tasks);
-  if (worker_index_cache_) {
-    worker_index_cache_->BeginInstance(inst_workers);
-  }
+  metrics.index_seconds = TakePhase();
+
   ProblemInstance instance(
       std::move(inst_workers), num_current_workers, std::move(inst_tasks),
       num_current_tasks, quality_, config_.unit_price, config_.budget);
@@ -131,7 +162,11 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
   instance.set_pool_stats(&pool_stats);
 
   // --- Assign (line 5). ---
-  MQA_ASSIGN_OR_RETURN(outcome.result, assigner->Assign(instance));
+  {
+    MQA_TRACE_SPAN("epoch/assign");
+    MQA_ASSIGN_OR_RETURN(outcome.result, assigner->Assign(instance));
+  }
+  metrics.assign_seconds = TakePhase();
   metrics.cpu_seconds = Seconds(t_start);
   metrics.pool_pairs = pool_stats.pairs;
   metrics.pool_predicted_pairs = pool_stats.predicted_pairs;
@@ -139,15 +174,25 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
   metrics.pool_arena_slabs = pool_stats.arena_slabs;
   metrics.pool_arena_peak_bytes = pool_stats.arena_peak_bytes;
   metrics.pool_lazy_skipped_fraction = pool_stats.lazy_skipped_fraction;
+  metrics.pool_build_seconds = pool_stats.build_seconds;
 
   if (config_.validate_assignments) {
+    MQA_TRACE_SPAN("epoch/validate");
     MQA_RETURN_NOT_OK(ValidateAssignment(instance, outcome.result));
   }
+  metrics.validate_seconds = TakePhase();
   metrics.assigned = static_cast<int64_t>(outcome.result.pairs.size());
   metrics.quality = outcome.result.total_quality;
   metrics.cost = outcome.result.total_cost;
+  MQA_METRIC_COUNT("mqa.epoch.assigned_total", metrics.assigned);
+  MQA_METRIC_RECORD("mqa.epoch.wall_seconds", metrics.cpu_seconds);
+  MQA_METRIC_RECORD("mqa.epoch.predict_seconds", metrics.predict_seconds);
+  MQA_METRIC_RECORD("mqa.epoch.assign_seconds", metrics.assign_seconds);
+  MQA_METRIC_RECORD("mqa.epoch.pool_build_seconds",
+                    metrics.pool_build_seconds);
 
   // --- Mark consumed entities and compute rejoins (lines 6-7). ---
+  MQA_TRACE_SPAN("epoch/apply");
   outcome.worker_assigned.assign(available_workers.size(), 0);
   outcome.task_assigned.assign(available_tasks.size(), 0);
   for (const Assignment& a : outcome.result.pairs) {
@@ -178,6 +223,7 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
       outcome.rejoins.push_back(std::move(rejoin));
     }
   }
+  metrics.apply_seconds = TakePhase();
 
   return outcome;
 }

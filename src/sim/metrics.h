@@ -28,6 +28,21 @@ struct InstanceMetrics {
   /// instance (the paper's "running time per time instance").
   double cpu_seconds = 0.0;
 
+  /// Per-phase breakdown of cpu_seconds (epoch lifecycle order; see
+  /// docs/OBSERVABILITY.md for the span taxonomy these mirror). Timing
+  /// fields describe execution, not the computed assignment — like the
+  /// arena fields below they are excluded from the byte-identity
+  /// contract.
+  double predict_seconds = 0.0;   // prediction scoring + PredictNext
+  double assemble_seconds = 0.0;  // instance vector assembly
+  double index_seconds = 0.0;     // task/worker index build or churn
+  double assign_seconds = 0.0;    // Assigner::Assign (includes pool build)
+  double validate_seconds = 0.0;  // ValidateAssignment (0 when disabled)
+  double apply_seconds = 0.0;     // consumed marking + rejoin computation
+
+  /// Seconds inside BuildPairPool during Assign (from PairPoolStats).
+  double pool_build_seconds = 0.0;
+
   /// Fig. 10 relative errors of the *previous* instance's prediction
   /// against this instance's actual arrivals (-1 when no prediction was
   /// made, e.g. at instance 0 or when prediction is disabled).

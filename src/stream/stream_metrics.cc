@@ -24,6 +24,22 @@ double Percentile(std::vector<double> values, double p) {
   return SortedPercentile(values, p);
 }
 
+const char* EpochFireReasonToString(EpochFireReason reason) {
+  switch (reason) {
+    case EpochFireReason::kGridTick:
+      return "grid_tick";
+    case EpochFireReason::kKArrivals:
+      return "k_arrivals";
+    case EpochFireReason::kBacklogThreshold:
+      return "backlog_threshold";
+    case EpochFireReason::kMaxInterval:
+      return "max_interval";
+    case EpochFireReason::kFinalFlush:
+      return "final_flush";
+  }
+  return "?";
+}
+
 void StreamSummary::Finalize() {
   total_assigned = 0;
   total_expired = 0;

@@ -12,6 +12,19 @@ namespace mqa {
 /// Copies and sorts — metrics-path use only.
 double Percentile(std::vector<double> values, double p);
 
+/// Why an assignment epoch fired — the "report every auto decision"
+/// signal for epoch policies. Exported per epoch (CSV fire_reason
+/// column) and counted in the metrics registry (mqa.stream.fire.*).
+enum class EpochFireReason {
+  kGridTick = 0,     // per-instance / fixed-interval grid epoch
+  kKArrivals,        // k-arrivals trigger reached
+  kBacklogThreshold, // adaptive backlog estimate crossed the threshold
+  kMaxInterval,      // adaptive max-interval failsafe while tasks waited
+  kFinalFlush,       // end-of-stream flush of staged/pending entities
+};
+
+const char* EpochFireReasonToString(EpochFireReason reason);
+
 /// What the batch metrics cannot see: one assignment epoch of the
 /// streaming engine, with its position on the continuous clock, the
 /// latency of the epoch itself, and the state of the queue around it.
@@ -47,6 +60,9 @@ struct EpochStreamMetrics {
   /// Mean arrival -> assignment wait over this epoch's assigned tasks
   /// (0 when nothing was assigned), in continuous-time units.
   double mean_queue_wait = 0.0;
+
+  /// Which policy decision fired this epoch.
+  EpochFireReason fire_reason = EpochFireReason::kGridTick;
 };
 
 /// Whole-run aggregates of a streaming simulation.

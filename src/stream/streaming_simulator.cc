@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/epoch_runner.h"
 
 namespace mqa {
@@ -55,8 +57,8 @@ class Engine {
         for (int64_t k = 0; k < num_epochs; ++k) {
           const double t = static_cast<double>(k) * dt;
           StageDue(t);
-          MQA_RETURN_NOT_OK(
-              RunOneEpoch(t, /*predict_next=*/k + 1 < num_epochs));
+          MQA_RETURN_NOT_OK(RunOneEpoch(t, /*predict_next=*/k + 1 < num_epochs,
+                                        EpochFireReason::kGridTick));
         }
         // Arrivals in the fractional window between the last grid epoch
         // and the horizon still get one flush epoch — only events at or
@@ -68,7 +70,7 @@ class Engine {
         if (staged_tasks_ > 0 || (staged_arrivals_ > 0 && !tasks_.empty())) {
           MQA_RETURN_NOT_OK(RunOneEpoch(
               std::max(prev_epoch_time_, last_staged_time_),
-              /*predict_next=*/false));
+              /*predict_next=*/false, EpochFireReason::kFinalFlush));
         }
         break;
       }
@@ -85,7 +87,7 @@ class Engine {
             MQA_RETURN_NOT_OK(RunOneEpoch(
                 std::max(prev_epoch_time_ + policy_.max_interval,
                          last_staged_time_),
-                /*predict_next=*/true));
+                /*predict_next=*/true, EpochFireReason::kMaxInterval));
             continue;
           }
           const StreamEvent event = queue_->Pop();
@@ -100,8 +102,11 @@ class Engine {
             // exists is unknowable here — the epoch itself may push
             // rejoin events that refill a momentarily empty queue. Only
             // the final flush below is known to be last.
-            MQA_RETURN_NOT_OK(RunOneEpoch(trigger_time,
-                                          /*predict_next=*/true));
+            MQA_RETURN_NOT_OK(RunOneEpoch(
+                trigger_time, /*predict_next=*/true,
+                policy_.kind == EpochPolicyKind::kEveryKArrivals
+                    ? EpochFireReason::kKArrivals
+                    : EpochFireReason::kBacklogThreshold));
           }
         }
         // Final flush: whatever is staged or still pending gets one last
@@ -109,7 +114,7 @@ class Engine {
         if (staged_tasks_ > 0 || !tasks_.empty()) {
           MQA_RETURN_NOT_OK(RunOneEpoch(
               std::max(prev_epoch_time_, last_staged_time_),
-              /*predict_next=*/false));
+              /*predict_next=*/false, EpochFireReason::kFinalFlush));
         }
         break;
       }
@@ -293,11 +298,39 @@ class Engine {
   // Below this backlog the fan-out overhead exceeds the scan itself.
   static constexpr size_t kMinParallelBacklogTasks = 64;
 
-  Status RunOneEpoch(double t, bool predict_next) {
+  /// Counts the firing decision in the registry. The metric macros cache
+  /// one handle per call site, so each reason gets its own literal name.
+  static void CountFireReason(EpochFireReason reason) {
+    switch (reason) {
+      case EpochFireReason::kGridTick:
+        MQA_METRIC_COUNT("mqa.stream.fire.grid_tick", 1);
+        break;
+      case EpochFireReason::kKArrivals:
+        MQA_METRIC_COUNT("mqa.stream.fire.k_arrivals", 1);
+        break;
+      case EpochFireReason::kBacklogThreshold:
+        MQA_METRIC_COUNT("mqa.stream.fire.backlog_threshold", 1);
+        break;
+      case EpochFireReason::kMaxInterval:
+        MQA_METRIC_COUNT("mqa.stream.fire.max_interval", 1);
+        break;
+      case EpochFireReason::kFinalFlush:
+        MQA_METRIC_COUNT("mqa.stream.fire.final_flush", 1);
+        break;
+    }
+  }
+
+  Status RunOneEpoch(double t, bool predict_next, EpochFireReason reason) {
+    MQA_TRACE_SPAN_ARG("stream/epoch", epoch_index_);
+    CountFireReason(reason);
     EpochStreamMetrics em;
     em.epoch_time = t;
-    AgeTasks(t, &em);
-    MQA_RETURN_NOT_OK(Ingest(t, &em));
+    em.fire_reason = reason;
+    {
+      MQA_TRACE_SPAN("stream/ingest");
+      AgeTasks(t, &em);
+      MQA_RETURN_NOT_OK(Ingest(t, &em));
+    }
     em.ingested_workers = static_cast<int64_t>(new_workers_.size());
     em.ingested_tasks = static_cast<int64_t>(new_tasks_.size());
     em.backlog_before = static_cast<int64_t>(tasks_.size());
@@ -309,7 +342,14 @@ class Engine {
     new_workers_.clear();
     new_tasks_.clear();
     em.instance = outcome.metrics;
-    em.coverable_backlog = CoverableBacklog(workers_.size());
+    {
+      MQA_TRACE_SPAN("stream/coverable_backlog");
+      em.coverable_backlog = CoverableBacklog(workers_.size());
+    }
+    MQA_METRIC_RECORD("mqa.stream.epoch_latency_seconds",
+                      outcome.metrics.cpu_seconds);
+    MQA_METRIC_GAUGE_SET("mqa.stream.backlog",
+                         static_cast<double>(em.backlog_before));
 
     // Queue waits of the tasks this epoch served (arrival -> assignment).
     double wait_sum = 0.0;
@@ -317,6 +357,7 @@ class Engine {
       if (!outcome.task_assigned[j]) continue;
       const double wait = t - task_arrivals_[j];
       summary_.queue_waits.push_back(wait);
+      MQA_METRIC_RECORD("mqa.stream.queue_wait", wait);
       wait_sum += wait;
     }
     if (outcome.metrics.assigned > 0) {

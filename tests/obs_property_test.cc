@@ -1,0 +1,207 @@
+// The observability hard requirement: instrumentation must be
+// write-only. A traced run (tracer enabled, spans recording, metrics
+// accumulating) must produce byte-identical assignments and scores to an
+// untraced run, across {greedy, D&C} x {1, 4} threads x batch/stream.
+// Spans only read the clock and write side buffers; if anything ever
+// feeds back into the computation, these tests catch it.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/assigner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "quality/range_quality.h"
+#include "sim/simulator.h"
+#include "stream/streaming_simulator.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
+
+namespace mqa {
+namespace {
+
+struct ObsCase {
+  AssignerKind kind;
+  int threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ObsCase>& info) {
+  std::string name = AssignerKindToString(info.param.kind);
+  for (char& ch : name) {
+    if (ch == '&') ch = 'n';
+  }
+  return name + "_t" + std::to_string(info.param.threads);
+}
+
+/// The result fields covered by the byte-identity contract. Timing
+/// fields (cpu_seconds, the phase laps) are execution state and are
+/// deliberately excluded — they differ run to run by construction.
+struct ResultFingerprint {
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+
+  bool operator==(const ResultFingerprint& other) const {
+    if (ints != other.ints) return false;
+    if (doubles.size() != other.doubles.size()) return false;
+    for (size_t i = 0; i < doubles.size(); ++i) {
+      // Bitwise, not epsilon: the contract is byte-identity.
+      if (std::memcmp(&doubles[i], &other.doubles[i], sizeof(double)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+void AppendInstance(const InstanceMetrics& m, ResultFingerprint* fp) {
+  fp->ints.push_back(m.instance);
+  fp->ints.push_back(m.workers_available);
+  fp->ints.push_back(m.tasks_available);
+  fp->ints.push_back(m.predicted_workers);
+  fp->ints.push_back(m.predicted_tasks);
+  fp->ints.push_back(m.assigned);
+  fp->doubles.push_back(m.quality);
+  fp->doubles.push_back(m.cost);
+  fp->doubles.push_back(m.worker_prediction_error);
+  fp->doubles.push_back(m.task_prediction_error);
+}
+
+ResultFingerprint RunBatch(const ObsCase& c) {
+  SyntheticConfig w;
+  w.num_workers = 250;
+  w.num_tasks = 250;
+  w.num_instances = 5;
+  w.seed = 31;
+  const ArrivalStream stream = GenerateSynthetic(w);
+  const RangeQualityModel quality(1.0, 2.0, 13);
+
+  SimulatorConfig config;
+  config.budget = 35.0;
+  config.unit_price = 10.0;
+  config.use_prediction = true;
+  config.prediction.gamma = 8;
+  config.prediction.window = 3;
+  config.prediction.seed = 31;
+  config.num_threads = c.threads;
+
+  Simulator sim(config, &quality);
+  auto assigner = CreateAssigner(c.kind, {.seed = 7});
+  const auto summary = sim.Run(stream, assigner.get());
+  EXPECT_TRUE(summary.ok()) << summary.status();
+
+  ResultFingerprint fp;
+  for (const InstanceMetrics& m : summary.value().per_instance) {
+    AppendInstance(m, &fp);
+  }
+  fp.doubles.push_back(summary.value().total_quality);
+  fp.doubles.push_back(summary.value().total_cost);
+  fp.ints.push_back(summary.value().total_assigned);
+  return fp;
+}
+
+ResultFingerprint RunStream(const ObsCase& c) {
+  ScenarioConfig w;
+  w.kind = ScenarioKind::kBursty;
+  w.num_workers = 200;
+  w.num_tasks = 200;
+  w.horizon = 4.0;
+  w.seed = 23;
+  const ScenarioStream scenario = GenerateScenario(w);
+  const RangeQualityModel quality(1.0, 2.0, 13);
+
+  StreamingConfig config;
+  config.sim.budget = 35.0;
+  config.sim.unit_price = 10.0;
+  config.sim.use_prediction = true;
+  config.sim.prediction.gamma = 8;
+  config.sim.prediction.seed = 23;
+  config.sim.num_threads = c.threads;
+  config.sim.maintain_worker_index = true;
+  config.policy.kind = EpochPolicyKind::kAdaptiveBacklog;
+  config.policy.backlog_threshold = 40;
+  config.policy.max_interval = 1.0;
+  config.horizon = 4.0;
+
+  StreamingSimulator sim(config, &quality);
+  auto assigner = CreateAssigner(c.kind, {.seed = 7});
+  const auto summary =
+      sim.Run(EventQueue::FromScenario(scenario), assigner.get());
+  EXPECT_TRUE(summary.ok()) << summary.status();
+
+  ResultFingerprint fp;
+  for (const EpochStreamMetrics& e : summary.value().per_epoch) {
+    AppendInstance(e.instance, &fp);
+    fp.ints.push_back(e.ingested_workers);
+    fp.ints.push_back(e.ingested_tasks);
+    fp.ints.push_back(e.backlog_before);
+    fp.ints.push_back(e.backlog_after);
+    fp.ints.push_back(e.expired);
+    fp.ints.push_back(e.coverable_backlog);
+    fp.ints.push_back(static_cast<int64_t>(e.fire_reason));
+    fp.doubles.push_back(e.epoch_time);
+    fp.doubles.push_back(e.mean_queue_wait);
+  }
+  fp.doubles.push_back(summary.value().total_quality);
+  fp.doubles.push_back(summary.value().total_cost);
+  fp.ints.push_back(summary.value().total_assigned);
+  fp.ints.push_back(summary.value().total_expired);
+  return fp;
+}
+
+class ObsPropertyTest : public ::testing::TestWithParam<ObsCase> {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Reset();
+    MetricsRegistry::Get().Reset();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Reset();
+    MetricsRegistry::Get().Reset();
+  }
+};
+
+TEST_P(ObsPropertyTest, TracedBatchRunIsByteIdentical) {
+  const ResultFingerprint untraced = RunBatch(GetParam());
+  Tracer::Get().Enable();
+  const ResultFingerprint traced = RunBatch(GetParam());
+  Tracer::Get().Disable();
+#if !defined(MQA_OBS_DISABLED)
+  EXPECT_GT(Tracer::Get().event_count(), 0) << "tracing was not live";
+#endif
+  EXPECT_TRUE(traced == untraced)
+      << "enabling the tracer changed batch results";
+}
+
+TEST_P(ObsPropertyTest, TracedStreamRunIsByteIdentical) {
+  const ResultFingerprint untraced = RunStream(GetParam());
+  Tracer::Get().Enable();
+  const ResultFingerprint traced = RunStream(GetParam());
+  Tracer::Get().Disable();
+#if !defined(MQA_OBS_DISABLED)
+  EXPECT_GT(Tracer::Get().event_count(), 0) << "tracing was not live";
+#endif
+  EXPECT_TRUE(traced == untraced)
+      << "enabling the tracer changed streaming results";
+}
+
+std::vector<ObsCase> MakeCases() {
+  std::vector<ObsCase> cases;
+  for (const AssignerKind kind :
+       {AssignerKind::kGreedy, AssignerKind::kDivideConquer}) {
+    for (const int threads : {1, 4}) {
+      cases.push_back({kind, threads});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cross, ObsPropertyTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,369 @@
+// Unit tests for src/obs/: tracer spans under an injected clock, the
+// chunked thread-local buffers and their flush ordering, histogram
+// bucketing/quantiles, and the metrics registry's JSON export.
+//
+// The tracer and registry are process-wide singletons; every test that
+// touches them resets state on entry and restores the real clock /
+// disabled mode on exit so tests stay order-independent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mqa {
+namespace {
+
+// ---- tracer -----------------------------------------------------------------
+
+std::atomic<int64_t> g_fake_now{0};
+int64_t FakeClock() { return g_fake_now.load(std::memory_order_relaxed); }
+
+/// Puts the tracer into a deterministic state for one test and restores
+/// the defaults afterwards.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Reset();
+    g_fake_now.store(0, std::memory_order_relaxed);
+    Tracer::Get().SetClockForTesting(&FakeClock);
+    Tracer::Get().Enable();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().SetClockForTesting(nullptr);
+    Tracer::Get().Reset();
+  }
+};
+
+TEST_F(TracerTest, SpanRecordsInjectedTimestamps) {
+  g_fake_now = 1000;
+  {
+    MQA_TRACE_SPAN("unit/alpha");
+    g_fake_now = 3500;
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+  const std::string json = Tracer::Get().ToJsonString();
+  // 1000 ns start -> 1.000 us, 2500 ns duration -> 2.500 us.
+  EXPECT_NE(json.find("\"name\":\"unit/alpha\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mqa\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TracerTest, SpanArgExportsPayload) {
+  {
+    MQA_TRACE_SPAN_ARG("unit/arg", 42);
+  }
+  const std::string json = Tracer::Get().ToJsonString();
+  EXPECT_NE(json.find("\"args\":{\"v\":42}"), std::string::npos) << json;
+}
+
+TEST_F(TracerTest, ConditionalSpanGates) {
+  {
+    MQA_TRACE_SPAN_IF(false, "unit/skipped", 1);
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 0);
+  {
+    MQA_TRACE_SPAN_IF(true, "unit/taken", 2);
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Get().Disable();
+  {
+    MQA_TRACE_SPAN("unit/ghost");
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 0);
+}
+
+TEST_F(TracerTest, SpanOpenAtDisableStillRecords) {
+  {
+    MQA_TRACE_SPAN("unit/straddler");
+    Tracer::Get().Disable();
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+}
+
+TEST_F(TracerTest, NestedSpansFlushParentFirst) {
+  // Spans close inner-first, so the raw buffer holds the child before
+  // the parent; the exporter must re-order by start time (ties broken
+  // longest-first) so viewers nest them correctly.
+  g_fake_now = 100;
+  {
+    MQA_TRACE_SPAN("unit/outer");
+    g_fake_now = 200;
+    {
+      MQA_TRACE_SPAN("unit/inner");
+      g_fake_now = 300;
+    }
+    g_fake_now = 900;
+  }
+  const std::string json = Tracer::Get().ToJsonString();
+  const size_t outer = json.find("\"name\":\"unit/outer\"");
+  const size_t inner = json.find("\"name\":\"unit/inner\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  EXPECT_LT(outer, inner) << json;
+}
+
+TEST_F(TracerTest, SameStartOrdersLongestFirst) {
+  Tracer::Get().AppendComplete("unit/short", 500, 10);
+  Tracer::Get().AppendComplete("unit/long", 500, 300);
+  const std::string json = Tracer::Get().ToJsonString();
+  EXPECT_LT(json.find("\"name\":\"unit/long\""),
+            json.find("\"name\":\"unit/short\""))
+      << json;
+}
+
+TEST_F(TracerTest, ThreadNameAppliesBeforeFirstSpan) {
+  std::thread worker([] {
+    Tracer::Get().SetCurrentThreadName("unit-worker");
+    g_fake_now = 50;
+    MQA_TRACE_SPAN("unit/from_worker");
+    g_fake_now = 60;
+  });
+  worker.join();
+  const std::string json = Tracer::Get().ToJsonString();
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"name\":\"unit-worker\"}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"unit/from_worker\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctTracksInRegistrationOrder) {
+  {
+    MQA_TRACE_SPAN("unit/main_first");
+  }
+  std::thread worker([] {
+    MQA_TRACE_SPAN("unit/worker_second");
+  });
+  worker.join();
+  const std::string json = Tracer::Get().ToJsonString();
+  // Registration order assigns tids: main (appended first) is 0.
+  const size_t main_pos = json.find("\"name\":\"unit/main_first\"");
+  ASSERT_NE(main_pos, std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0", main_pos), std::string::npos);
+  const size_t worker_pos = json.find("\"name\":\"unit/worker_second\"");
+  ASSERT_NE(worker_pos, std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1", worker_pos), std::string::npos) << json;
+}
+
+TEST_F(TracerTest, BufferGrowsPastOneChunk) {
+  constexpr int kEvents = 4096 + 1234;  // forces a second chunk
+  for (int i = 0; i < kEvents; ++i) {
+    Tracer::Get().AppendComplete("unit/bulk", i, 1);
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), kEvents);
+}
+
+TEST_F(TracerTest, ResetDropsEverything) {
+  {
+    MQA_TRACE_SPAN("unit/doomed");
+  }
+  ASSERT_EQ(Tracer::Get().event_count(), 1);
+  Tracer::Get().Reset();
+  EXPECT_EQ(Tracer::Get().event_count(), 0);
+  // The thread re-registers transparently after a reset.
+  Tracer::Get().Enable();
+  {
+    MQA_TRACE_SPAN("unit/reborn");
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+}
+
+// ---- histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesBracketTheValue) {
+  // Every positive value must land in a bucket whose [lower, upper)
+  // range contains it. Boundaries are 2^e * (1 + s/8), so the ratio of
+  // a bucket's bounds ranges from 9/8 (bottom of an octave) down to
+  // 16/15 (top) — the worst-case relative error is 1/kSubBuckets.
+  const double values[] = {1e-9, 0.001, 0.5,  0.999, 1.0,
+                           1.06, 7.3,   42.0, 1e6,   3.7e12};
+  for (const double v : values) {
+    const int index = Histogram::BucketIndex(v);
+    const double lo = Histogram::BucketLowerBound(index);
+    const double hi = Histogram::BucketUpperBound(index);
+    EXPECT_LE(lo, v) << "v=" << v;
+    EXPECT_LT(v, hi) << "v=" << v;
+    EXPECT_GT(hi / lo, 1.0) << "v=" << v;
+    EXPECT_LE(hi / lo, 1.0 + 1.0 / Histogram::kSubBuckets + 1e-12)
+        << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, PowerOfTwoIsItsOwnLowerBound) {
+  for (const double v : {0.25, 0.5, 1.0, 2.0, 4.0, 1024.0}) {
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(HistogramTest, NonPositiveGoesToUnderflowSlot) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+}
+
+TEST(HistogramTest, HugeValueSaturatesTopBucket) {
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(
+                std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.Record(5.0);
+  // The bucket upper bound is clamped to the observed [min, max], so a
+  // single-valued histogram reports exactly.
+  EXPECT_EQ(h.Quantile(0.0), 5.0);
+  EXPECT_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_EQ(h.Quantile(1.0), 5.0);
+  EXPECT_EQ(h.min(), 5.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, QuantileErrorStaysWithinBucketWidth) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  // Log-bucketing guarantees at most 1/kSubBuckets relative error above
+  // the true quantile (the reported value is a bucket upper bound).
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 50.0 * (1.0 + 1.0 / Histogram::kSubBuckets));
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 99.0);
+  EXPECT_LE(p99, 100.0);  // clamped to max
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileIgnoresRecordingOrder) {
+  Histogram forward;
+  Histogram backward;
+  for (int i = 1; i <= 500; ++i) forward.Record(static_cast<double>(i));
+  for (int i = 500; i >= 1; --i) backward.Record(static_cast<double>(i));
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(forward.Quantile(q), backward.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, UnderflowValuesStayWithinObservedRange) {
+  Histogram h;
+  h.Record(-3.0);
+  h.Record(0.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), -3.0);
+  EXPECT_EQ(h.max(), 0.0);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, -3.0);
+  EXPECT_LE(p50, 0.0);
+}
+
+TEST(HistogramTest, ClearZeroesState) {
+  Histogram h;
+  h.Record(7.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossReset) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Reset();
+  Counter* c = reg.counter("mqa.test.stable");
+  c->Add(3);
+  EXPECT_EQ(reg.counter("mqa.test.stable"), c);  // find, not create
+  EXPECT_EQ(c->value(), 3);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0);  // zeroed, same handle
+  c->Add(1);
+  EXPECT_EQ(reg.counter("mqa.test.stable")->value(), 1);
+}
+
+TEST(MetricsRegistryTest, MacrosCacheHandlesAndAccumulate) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Reset();
+  for (int i = 0; i < 4; ++i) {
+    MQA_METRIC_COUNT("mqa.test.macro_counter", 2);
+    MQA_METRIC_GAUGE_SET("mqa.test.macro_gauge", static_cast<double>(i));
+    MQA_METRIC_RECORD("mqa.test.macro_hist", 1.5);
+  }
+#if defined(MQA_OBS_DISABLED)
+  EXPECT_EQ(reg.counter("mqa.test.macro_counter")->value(), 0);
+#else
+  EXPECT_EQ(reg.counter("mqa.test.macro_counter")->value(), 8);
+  EXPECT_EQ(reg.gauge("mqa.test.macro_gauge")->value(), 3.0);
+  EXPECT_EQ(reg.histogram("mqa.test.macro_hist")->count(), 4);
+#endif
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllSections) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Reset();
+  reg.counter("mqa.test.json_counter")->Add(11);
+  reg.gauge("mqa.test.json_gauge")->Set(2.5);
+  Histogram* h = reg.histogram("mqa.test.json_hist");
+  h->Record(4.0);
+  h->Record(4.0);
+  const std::string json = reg.ToJsonString();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"mqa.test.json_counter\": 11"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"mqa.test.json_gauge\": 2.5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"mqa.test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": 4"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersConverge) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("mqa.test.concurrent");
+      Histogram* h = reg.histogram("mqa.test.concurrent_hist");
+      for (int i = 0; i < kAdds; ++i) {
+        c->Increment();
+        h->Record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("mqa.test.concurrent")->value(), kThreads * kAdds);
+  EXPECT_EQ(reg.histogram("mqa.test.concurrent_hist")->count(),
+            kThreads * kAdds);
+}
+
+}  // namespace
+}  // namespace mqa
