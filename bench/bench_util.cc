@@ -7,7 +7,10 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace mqa {
 namespace bench {
@@ -124,11 +127,21 @@ std::vector<VariantResult> RunAllVariants(const ArrivalStream& stream,
   return out;
 }
 
-void PrintHeader(const std::string& title) {
-  // Every bench calls this first, so MQA_TRACE / MQA_METRICS_JSON work on
-  // all of them without per-bench plumbing.
+void InitObservability() {
   Tracer::InitFromEnv();
   MetricsRegistry::InitFromEnv();
+  RunReport::InitFromEnv();
+  PerfCounters::InitFromEnv();
+  Watchdog::InitFromEnv();
+  RunReport::Get().SetConfig("bench_scale", Scale());
+}
+
+std::string ProvenanceFragment() { return RunReport::ProvenanceFragment(); }
+
+void PrintHeader(const std::string& title) {
+  // Every bench calls this first, so the MQA_* observability variables
+  // work on all of them without per-bench plumbing.
+  InitObservability();
   std::printf("=== %s ===\n", title.c_str());
   std::printf("(workload scale %.2f of the paper's; set MQA_BENCH_SCALE=1 "
               "for full scale)\n\n",

@@ -81,6 +81,20 @@ std::vector<VariantResult> RunAllVariants(const ArrivalStream& stream,
                                           const PaperDefaults& d,
                                           bool include_wop);
 
+/// Initializes every environment-driven observability surface in one
+/// place — MQA_TRACE, MQA_METRICS_JSON, MQA_RUN_REPORT,
+/// MQA_PERF_COUNTERS and MQA_WATCHDOG — so all benches honor the same
+/// variables uniformly. PrintHeader calls this; benches that print their
+/// own headers (index_bench, parallel_bench, table1_example) call it
+/// directly. Idempotent.
+void InitObservability();
+
+/// The run report's {"git": ..., "machine": ...} identity pair as a JSON
+/// fragment (no surrounding braces) — benches embed it in BENCH_*.json
+/// as the "provenance" block so regression artifacts say which source
+/// revision and hardware produced them.
+std::string ProvenanceFragment();
+
 /// Table printing: header names the figure, columns are variants, one row
 /// per swept parameter value; a quality table and a running-time table
 /// are printed (matching the paper's (a)/(b) subfigures).

@@ -37,8 +37,7 @@
 #include "core/valid_pairs.h"
 #include "exec/pair_arena.h"
 #include "index/spatial_index.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "bench/bench_util.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
 #include "workload/spatial_dist.h"
@@ -269,6 +268,8 @@ void RunPoolPhase(const std::vector<int>& sizes, int max_n) {
     return;
   }
   std::fprintf(json, "{\n  \"regime\": \"paper+10%%predicted\",\n");
+  std::fprintf(json, "  \"provenance\": {%s},\n",
+               bench::ProvenanceFragment().c_str());
   std::fprintf(json, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const PoolPhaseResult& r = results[i];
@@ -377,6 +378,8 @@ void RunSkewPhase(const std::vector<int>& sizes, int max_n) {
     std::fprintf(stderr, "WARNING: cannot write BENCH_rtree.json\n");
   } else {
     std::fprintf(json, "{\n  \"reach\": \"city (v 0.02-0.03, e 1-2)\",\n");
+    std::fprintf(json, "  \"provenance\": {%s},\n",
+                 bench::ProvenanceFragment().c_str());
     std::fprintf(json, "  \"results\": [\n");
   }
   bool first_row = true;
@@ -454,8 +457,7 @@ void RunSkewPhase(const std::vector<int>& sizes, int max_n) {
 }  // namespace mqa
 
 int main() {
-  mqa::Tracer::InitFromEnv();
-  mqa::MetricsRegistry::InitFromEnv();
+  mqa::bench::InitObservability();
   int max_n = 50000;
   if (const char* cap = std::getenv("MQA_INDEX_BENCH_MAX")) {
     max_n = std::atoi(cap);

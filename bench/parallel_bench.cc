@@ -24,8 +24,7 @@
 #include "core/greedy.h"
 #include "core/valid_pairs.h"
 #include "exec/parallel_runner.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "bench/bench_util.h"
 #include "quality/range_quality.h"
 #include "tests/test_util.h"
 
@@ -119,8 +118,7 @@ Measured MeasureAt(const ProblemInstance& instance, int threads, int reps) {
 
 int main() {
   using namespace mqa;
-  Tracer::InitFromEnv();
-  MetricsRegistry::InitFromEnv();
+  bench::InitObservability();
 
   int n = 10000;
   if (const char* env = std::getenv("MQA_PARALLEL_BENCH_N")) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/logging.h"
 #include "core/budget.h"
 #include "core/greedy.h"
@@ -78,6 +79,7 @@ std::vector<PairSpec> Filter(const std::vector<PairSpec>& specs,
 }  // namespace
 
 int main() {
+  mqa::bench::InitObservability();
   std::printf("=== Table I + Examples 1/2 — the paper's running example "
               "===\n\n");
   std::printf("%-14s %10s %14s\n", "pair <wi,tj>", "distance", "quality");

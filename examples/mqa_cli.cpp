@@ -18,7 +18,10 @@
 #include "core/assigner.h"
 #include "exec/parallel_runner.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "stream/streaming_simulator.h"
@@ -58,16 +61,30 @@ struct CliOptions {
   bool csv = false;
   bool pairpool_stats = false;
   bool phase_timing = false;
+  bool perf_counters = false;
+  double watchdog_seconds = 0.0;  // 0 = off
   uint64_t seed = 42;
   int threads = 1;
-  std::string trace_file;    // Chrome trace-event JSON (Perfetto)
-  std::string metrics_file;  // metrics-registry JSON export
+  std::string trace_file;       // Chrome trace-event JSON (Perfetto)
+  std::string metrics_file;     // metrics-registry JSON export
+  std::string run_report_file;  // unified run-report JSON artifact
 };
 
 /// Writes the requested trace / metrics files after the run. Returns the
 /// run's exit code, or 1 if a requested export failed (a bad path must
 /// not silently swallow the observability the user asked for).
 int FinishObservability(const CliOptions& opt, int rc) {
+  // Quiesce the watchdog before exports: its poll thread reads the trace
+  // buffers the exporters are about to walk.
+  Watchdog::Get().Stop();
+  if (!opt.run_report_file.empty()) {
+    const Status status =
+        RunReport::Get().WriteJsonFile(opt.run_report_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--run-report: %s\n", status.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
   if (!opt.trace_file.empty()) {
     const Status status = Tracer::Get().WriteJsonFile(opt.trace_file);
     if (!status.ok()) {
@@ -126,7 +143,13 @@ void PrintUsage() {
       "  --phase-timing (per-epoch phase wall-time CSV columns)\n"
       "  --trace=FILE (Chrome trace-event JSON of the epoch lifecycle,\n"
       "      loadable in Perfetto; see docs/OBSERVABILITY.md)\n"
-      "  --metrics-json=FILE (counters/gauges/histograms as JSON)\n");
+      "  --metrics-json=FILE (counters/gauges/histograms as JSON)\n"
+      "  --run-report=FILE (unified run artifact: config + git/machine\n"
+      "      provenance + per-epoch rows + counter aggregates + metrics)\n"
+      "  --perf-counters (attach hardware-counter deltas to phase spans\n"
+      "      via perf_event_open; silent no-op where unavailable)\n"
+      "  --watchdog=SECONDS (flight recorder: dump in-flight span stacks\n"
+      "      when an epoch runs past 3x the expected seconds)\n");
 }
 
 void PrintPoolStatsHeader() {
@@ -152,15 +175,20 @@ void PrintPoolStatsCsvValues(const InstanceMetrics& m) {
 // Per-epoch phase wall-time breakdown (--phase-timing). Timing fields are
 // execution state, not results: excluded from the byte-identity contract.
 void PrintPhaseCsvColumns() {
+  // Batch and stream emit identical phase columns; the two stream-only
+  // phases read 0 in batch mode.
   std::printf(
       ",predict_seconds,assemble_seconds,index_seconds,assign_seconds,"
-      "validate_seconds,apply_seconds,pool_build_seconds");
+      "validate_seconds,apply_seconds,ingest_seconds,backlog_scan_seconds,"
+      "pool_build_seconds");
 }
 
 void PrintPhaseCsvValues(const InstanceMetrics& m) {
-  std::printf(",%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f", m.predict_seconds,
-              m.assemble_seconds, m.index_seconds, m.assign_seconds,
-              m.validate_seconds, m.apply_seconds, m.pool_build_seconds);
+  std::printf(",%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f",
+              m.predict_seconds, m.assemble_seconds, m.index_seconds,
+              m.assign_seconds, m.validate_seconds, m.apply_seconds,
+              m.ingest_seconds, m.backlog_scan_seconds,
+              m.pool_build_seconds);
 }
 
 void PrintPoolStatsRow(const InstanceMetrics& m) {
@@ -276,6 +304,8 @@ int main(int argc, char** argv) {
         ParseFlag(a, "--task-dist", &opt.task_dist) ||
         ParseFlag(a, "--trace", &opt.trace_file) ||
         ParseFlag(a, "--metrics-json", &opt.metrics_file) ||
+        ParseFlag(a, "--run-report", &opt.run_report_file) ||
+        ParseNumeric(a, "--watchdog", &opt.watchdog_seconds) ||
         ParseNumeric(a, "--workers", &opt.workers) ||
         ParseNumeric(a, "--tasks", &opt.tasks) ||
         ParseNumeric(a, "--instances", &opt.instances) ||
@@ -309,6 +339,8 @@ int main(int argc, char** argv) {
       opt.pairpool_stats = true;
     } else if (std::strcmp(a, "--phase-timing") == 0) {
       opt.phase_timing = true;
+    } else if (std::strcmp(a, "--perf-counters") == 0) {
+      opt.perf_counters = true;
     } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage();
       return 0;
@@ -321,10 +353,44 @@ int main(int argc, char** argv) {
 
   // Tracing/metrics must be live before the simulators run; the trusted
   // contract is that enabling them never changes assignments or scores
-  // (tests/obs_property_test.cc).
-  if (!opt.trace_file.empty()) {
+  // (tests/obs_property_test.cc). Counter capture and the flight
+  // recorder both ride on spans, so either implies span collection
+  // (exporting the trace still needs --trace).
+  if (!opt.trace_file.empty() || opt.perf_counters ||
+      opt.watchdog_seconds > 0.0) {
     Tracer::Get().Enable();
     Tracer::Get().SetCurrentThreadName("main");
+  }
+  if (opt.perf_counters) PerfCounters::Get().Enable();
+  if (opt.watchdog_seconds > 0.0) {
+    WatchdogConfig wconfig;
+    wconfig.deadline_seconds = opt.watchdog_seconds;
+    Watchdog::Get().Start(wconfig);
+  }
+
+  // Stamp the run report's config section (cheap; the report is only
+  // written when --run-report names a file).
+  {
+    RunReport& report = RunReport::Get();
+    report.SetConfig("binary", "mqa_cli");
+    report.SetConfig("workload", opt.workload);
+    report.SetConfig("scenario", opt.scenario);
+    report.SetConfig("algo", opt.algo);
+    report.SetConfig("epoch_policy", opt.epoch_policy);
+    report.SetConfig("index", opt.index);
+    report.SetConfig("workers", opt.workers);
+    report.SetConfig("tasks", opt.tasks);
+    report.SetConfig("instances", static_cast<int64_t>(opt.instances));
+    report.SetConfig("budget", opt.budget);
+    report.SetConfig("unit_price", opt.unit_price);
+    report.SetConfig("gamma", static_cast<int64_t>(opt.gamma));
+    report.SetConfig("window", static_cast<int64_t>(opt.window));
+    report.SetConfig("stream", opt.stream);
+    report.SetConfig("prediction", opt.prediction);
+    report.SetConfig("rejoin", opt.rejoin);
+    report.SetConfig("seed", static_cast<int64_t>(opt.seed));
+    report.SetConfig("threads", static_cast<int64_t>(opt.threads));
+    report.SetConfig("perf_counters", opt.perf_counters);
   }
 
   ScenarioKind scenario_kind = ScenarioKind::kPaper;

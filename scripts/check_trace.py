@@ -5,7 +5,10 @@ Checks, in order:
   1. The file parses as JSON and has the trace-event envelope
      (displayTimeUnit, traceEvents list).
   2. Every "X" event carries the required keys (name, cat, ph, ts, dur,
-     pid, tid) with sane types and non-negative durations.
+     pid, tid) with sane types and non-negative durations; when an event
+     has an args object, every key must be either the span's integer
+     payload ("v") or a known hardware-counter key with a non-negative
+     integer value (the --perf-counters surface).
   3. Per thread, spans nest: any two spans either don't overlap in time
      or one contains the other (a partial overlap means broken RAII
      pairing or a non-monotonic clock).
@@ -30,6 +33,18 @@ REQUIRED_X_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
 
 # Spans treated as epoch roots for the coverage check.
 EPOCH_SPAN_NAMES = ("epoch", "stream/epoch")
+
+# The only keys an X event's args object may carry: the span payload and
+# the perf-counter deltas (src/obs/perf_counters.h slot order).
+ALLOWED_ARG_KEYS = (
+    "v",
+    "task_clock_ns",
+    "cycles",
+    "instructions",
+    "cache_references",
+    "cache_misses",
+    "branch_misses",
+)
 
 
 def fail(msg):
@@ -69,6 +84,22 @@ def check_events(events):
         if dur < 0:
             errors.append(f"event {i} ({e.get('name')}): negative dur {dur}")
             continue
+        args = e.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                errors.append(f"event {i} ({e.get('name')}): args not an "
+                              f"object")
+            else:
+                for key, value in args.items():
+                    if key not in ALLOWED_ARG_KEYS:
+                        errors.append(f"event {i} ({e.get('name')}): "
+                                      f"unknown arg key '{key}'")
+                    elif not isinstance(value, int):
+                        errors.append(f"event {i} ({e.get('name')}): arg "
+                                      f"'{key}' is not an integer: {value!r}")
+                    elif key != "v" and value < 0:
+                        errors.append(f"event {i} ({e.get('name')}): "
+                                      f"counter '{key}' is negative: {value}")
         by_tid.setdefault(e["tid"], []).append((ts, ts + dur, e["name"]))
     return by_tid, errors
 

@@ -172,6 +172,15 @@ void MetricsRegistry::Reset() {
   }
 }
 
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) {
+    fn(name, *h);
+  }
+}
+
 namespace {
 
 void WriteJsonKey(std::ostream& out, const std::string& s) {

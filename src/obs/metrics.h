@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -121,6 +122,14 @@ class MetricsRegistry {
 
   /// Zeroes every metric (tests). Handles stay valid.
   void Reset();
+
+  /// Invokes `fn(name, histogram)` for every registered histogram, in
+  /// sorted name order (the run report's per-phase section reads the
+  /// "mqa.phase.*" family this way). Do not call registry methods that
+  /// take the lock from inside `fn`.
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
 
   /// JSON object: {"counters": {name: value, ...}, "gauges": {...},
   /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99},

@@ -1,0 +1,256 @@
+#include "obs/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mqa {
+
+const char* PerfCounterName(int slot) {
+  switch (static_cast<PerfCounterKind>(slot)) {
+    case PerfCounterKind::kTaskClockNs:
+      return "task_clock_ns";
+    case PerfCounterKind::kCycles:
+      return "cycles";
+    case PerfCounterKind::kInstructions:
+      return "instructions";
+    case PerfCounterKind::kCacheReferences:
+      return "cache_references";
+    case PerfCounterKind::kCacheMisses:
+      return "cache_misses";
+    case PerfCounterKind::kBranchMisses:
+      return "branch_misses";
+  }
+  return "?";
+}
+
+namespace {
+
+#if defined(__linux__)
+
+/// (type, config) of each PerfCounterKind slot, in slot order. Slot 0
+/// (task-clock) is the group leader: a software event, so the group
+/// opens even on machines whose PMU lacks some hardware events.
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+const EventSpec kEventSpecs[kNumPerfCounters] = {
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int PerfEventOpen(perf_event_attr* attr, int group_fd) {
+  return static_cast<int>(syscall(__NR_perf_event_open, attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+/// One thread's counter group. Opened lazily on the first read after the
+/// current generation began; closed by the thread_local destructor (or
+/// leaked with the thread, which the kernel reclaims).
+struct ThreadGroup {
+  int fds[kNumPerfCounters] = {-1, -1, -1, -1, -1, -1};
+  uint8_t mask = 0;
+  bool attempted = false;
+  uint64_t generation = ~uint64_t{0};
+
+  void Close() {
+    for (int& fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    mask = 0;
+    attempted = false;
+  }
+  ~ThreadGroup() { Close(); }
+
+  bool Open(PerfCounters* owner) {
+    attempted = true;
+    if (owner->forced_unavailable()) return false;
+    for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.size = sizeof(attr);
+      attr.type = kEventSpecs[slot].type;
+      attr.config = kEventSpecs[slot].config;
+      // Count user-space work of this thread only; kernel/hypervisor
+      // exclusion also lowers the perf_event_paranoid bar.
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      attr.disabled = 0;
+      if (slot == 0) {
+        attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+      }
+      const int fd = PerfEventOpen(&attr, slot == 0 ? -1 : fds[0]);
+      if (fd < 0) {
+        if (slot == 0) return false;  // no leader -> no group at all
+        continue;  // missing hardware event: drop the slot, keep going
+      }
+      fds[slot] = fd;
+      mask |= static_cast<uint8_t>(1u << slot);
+    }
+    return true;
+  }
+
+  bool Read(PerfSample* out) const {
+    if (fds[0] < 0) return false;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // value[nr] in open order (only successfully opened events).
+    uint64_t buf[3 + kNumPerfCounters];
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(uint64_t))) return false;
+    PerfSample sample;
+    sample.time_enabled_ns = buf[1];
+    sample.time_running_ns = buf[2];
+    sample.mask = mask;
+    size_t pos = 3;
+    for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+      if ((mask & (1u << slot)) == 0) continue;
+      sample.value[slot] = buf[pos++];
+    }
+    *out = sample;
+    return true;
+  }
+};
+
+thread_local ThreadGroup t_group;
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+PerfCounters& PerfCounters::Get() {
+  static PerfCounters* counters = new PerfCounters();  // leaked on purpose
+  return *counters;
+}
+
+void PerfCounters::Enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+  if (availability_.load(std::memory_order_relaxed) == -1) {
+    // Probe on the calling thread so a container without perf_event
+    // degrades immediately and silently instead of per-thread later.
+    PerfSample probe;
+    ReadCurrentThread(&probe);
+  }
+}
+
+void PerfCounters::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void PerfCounters::ReportThreadOpen(bool ok) {
+  int expected = -1;
+  if (availability_.compare_exchange_strong(expected, ok ? 1 : 0,
+                                            std::memory_order_relaxed)) {
+    if (!ok) {
+      MQA_LOG(Info) << "perf counters unavailable (perf_event_open failed); "
+                       "span capture degrades to wall time only";
+    }
+  }
+}
+
+bool PerfCounters::ReadCurrentThread(PerfSample* out) {
+#if defined(__linux__)
+  if (!enabled()) return false;
+  if (availability_.load(std::memory_order_relaxed) == 0) return false;
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (t_group.generation != gen) {
+    t_group.Close();
+    t_group.generation = gen;
+  }
+  if (!t_group.attempted) {
+    ReportThreadOpen(t_group.Open(this));
+  }
+  return t_group.Read(out);
+#else
+  (void)out;
+  if (enabled()) ReportThreadOpen(false);
+  return false;
+#endif
+}
+
+PerfSample PerfCounters::Delta(const PerfSample& start, const PerfSample& end) {
+  PerfSample delta;
+  delta.mask = static_cast<uint8_t>(start.mask & end.mask);
+  delta.time_enabled_ns = end.time_enabled_ns - start.time_enabled_ns;
+  delta.time_running_ns = end.time_running_ns - start.time_running_ns;
+  // Multiplexing correction: when the PMU rotated the group out for part
+  // of the span, scale hardware counts up by enabled/running. Task-clock
+  // (slot 0) is a software event and always runs.
+  double scale = 1.0;
+  if (delta.time_running_ns > 0 &&
+      delta.time_running_ns < delta.time_enabled_ns) {
+    scale = static_cast<double>(delta.time_enabled_ns) /
+            static_cast<double>(delta.time_running_ns);
+  }
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    if ((delta.mask & (1u << slot)) == 0) continue;
+    const uint64_t raw = end.value[slot] - start.value[slot];
+    delta.value[slot] =
+        slot == 0 ? raw
+                  : static_cast<uint64_t>(static_cast<double>(raw) * scale);
+  }
+  return delta;
+}
+
+void PerfCounters::AddToTotals(const PerfSample& delta) {
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    if ((delta.mask & (1u << slot)) == 0) continue;
+    totals_[slot].fetch_add(delta.value[slot], std::memory_order_relaxed);
+  }
+  totals_mask_.fetch_or(delta.mask, std::memory_order_relaxed);
+}
+
+PerfSample PerfCounters::totals() const {
+  PerfSample out;
+  out.mask =
+      static_cast<uint8_t>(totals_mask_.load(std::memory_order_relaxed));
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    out.value[slot] = totals_[slot].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void PerfCounters::ResetForTesting() {
+  for (auto& total : totals_) total.store(0, std::memory_order_relaxed);
+  totals_mask_.store(0, std::memory_order_relaxed);
+  availability_.store(-1, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PerfCounters::ForceUnavailableForTesting(bool forced) {
+  forced_unavailable_.store(forced, std::memory_order_relaxed);
+  availability_.store(-1, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PerfCounters::InitFromEnv() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* value = std::getenv("MQA_PERF_COUNTERS");
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return;
+  }
+  // Counter samples ride on trace spans; capture implies span collection
+  // (exporting the trace still needs MQA_TRACE/--trace).
+  Tracer::Get().Enable();
+  Get().Enable();
+}
+
+}  // namespace mqa

@@ -1,0 +1,135 @@
+#ifndef MQA_OBS_PERF_COUNTERS_H_
+#define MQA_OBS_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mqa {
+
+/// The fixed hardware-counter taxonomy captured per span. Order is the
+/// wire order everywhere: PerfSample::value[], TraceEvent::perf[], the
+/// trace-JSON arg keys, and the run-report totals.
+enum class PerfCounterKind : int {
+  kTaskClockNs = 0,     // software: thread CPU time inside the span (ns)
+  kCycles,              // hardware: CPU cycles
+  kInstructions,        // hardware: retired instructions
+  kCacheReferences,     // hardware: last-level-cache references
+  kCacheMisses,         // hardware: last-level-cache misses
+  kBranchMisses,        // hardware: mispredicted branches
+};
+constexpr int kNumPerfCounters = 6;
+
+/// Stable lowercase name of a counter slot ("task_clock_ns", "cycles",
+/// ...), used as the trace-arg key and run-report field name.
+const char* PerfCounterName(int slot);
+
+/// One multiplexing-corrected reading (or delta) of the counter group.
+/// `mask` bit i says slot i holds a real value; slots whose events could
+/// not be opened (e.g. no LLC events in a VM) stay 0 with the bit clear.
+struct PerfSample {
+  uint64_t value[kNumPerfCounters] = {0, 0, 0, 0, 0, 0};
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+  uint8_t mask = 0;
+};
+
+/// Process-wide switch for span-scoped hardware-counter capture built on
+/// perf_event_open(2).
+///
+/// Life cycle: Enable() (CLI `--perf-counters`, env `MQA_PERF_COUNTERS=1`)
+/// flips the request bit and probes the syscall on the calling thread.
+/// When the probe fails — ENOSYS under seccomp, EPERM/EACCES under
+/// perf_event_paranoid, any container/CI without the perf subsystem —
+/// the layer degrades to a no-op: available() turns false, every
+/// ReadCurrentThread() returns false, spans record exactly as if
+/// counters were never requested. Nothing here ever feeds a value back
+/// into the computation, so a counted run is byte-identical to an
+/// uncounted one (property-tested in tests/obs_property_test.cc).
+///
+/// Per-thread capture: each thread lazily opens its own counter group
+/// (leader: task-clock, a software event that exists everywhere the
+/// syscall does; siblings: the five hardware events) the first time it
+/// reads. One read(2) of the leader returns the whole group. Hardware
+/// siblings that fail to open individually are dropped from the mask but
+/// do not disable the group. Multiplexed readings are scaled by
+/// time_enabled/time_running per delta.
+class PerfCounters {
+ public:
+  static PerfCounters& Get();
+
+  /// Requests counter capture and probes availability on this thread.
+  /// Idempotent; safe to call before threads spawn (each thread opens
+  /// its own group lazily).
+  void Enable();
+  void Disable();
+
+  /// Whether capture was requested (Enable called, not Disabled).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Whether perf_event_open works in this process (valid after the
+  /// first Enable/read probe; false when forced-unavailable for tests).
+  bool available() const {
+    return availability_.load(std::memory_order_relaxed) == 1;
+  }
+
+  /// The hot-path gate: capture requested AND the syscall works.
+  bool active() const { return enabled() && available(); }
+
+  /// Reads the calling thread's counter group (opening it on first use).
+  /// Returns false — leaving *out untouched — when capture is inactive
+  /// or the group cannot be opened on this thread.
+  bool ReadCurrentThread(PerfSample* out);
+
+  /// Computes the span delta end - start, scaling hardware slots by the
+  /// group's enabled/running time ratio to correct for multiplexing.
+  /// The result mask is the AND of both samples' masks.
+  static PerfSample Delta(const PerfSample& start, const PerfSample& end);
+
+  /// Accumulates a delta into the process-wide totals (the run report's
+  /// counter aggregate). The tracer calls this when a top-level span
+  /// closes, so nested phase spans never double-count.
+  void AddToTotals(const PerfSample& delta);
+
+  /// Snapshot of the accumulated totals (mask = union of contributing
+  /// deltas' masks).
+  PerfSample totals() const;
+
+  /// Zeroes totals and re-arms the availability probe (tests).
+  void ResetForTesting();
+
+  /// Forces every subsequent group open to fail as if the syscall
+  /// returned EPERM — the containers/CI path, testable anywhere. Already
+  /// open per-thread groups are invalidated via a generation bump.
+  void ForceUnavailableForTesting(bool forced);
+
+  /// If MQA_PERF_COUNTERS is set to a non-empty, non-"0" value, enables
+  /// capture (and the tracer, which carries the samples). Idempotent.
+  static void InitFromEnv();
+
+  // Internal: current open-generation, bumped whenever per-thread groups
+  // must be re-opened (Enable after Disable, forced-unavailable toggles).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  bool forced_unavailable() const {
+    return forced_unavailable_.load(std::memory_order_relaxed);
+  }
+  void ReportThreadOpen(bool ok);
+
+ private:
+  PerfCounters() = default;
+  ~PerfCounters() = delete;  // intentionally leaked, like the Tracer
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> forced_unavailable_{false};
+  // -1 unknown, 0 unavailable, 1 available.
+  std::atomic<int> availability_{-1};
+  std::atomic<uint64_t> generation_{0};
+
+  std::atomic<uint64_t> totals_[kNumPerfCounters] = {};
+  std::atomic<uint64_t> totals_mask_{0};
+};
+
+}  // namespace mqa
+
+#endif  // MQA_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,362 @@
+#include "obs/run_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace mqa {
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteDouble(std::ostream& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+std::string GitDescribe() {
+#if defined(MQA_GIT_DESCRIBE)
+  return MQA_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+/// First "model name" line of /proc/cpuinfo (Linux; empty elsewhere).
+std::string CpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "";
+}
+
+void WriteMachineObject(std::ostream& out) {
+  std::string host, os, kernel, arch;
+  long cpus = 0;
+  long page_size = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  char hostname[256] = {0};
+  if (gethostname(hostname, sizeof(hostname) - 1) == 0) host = hostname;
+  utsname uts;
+  if (uname(&uts) == 0) {
+    os = uts.sysname;
+    kernel = uts.release;
+    arch = uts.machine;
+  }
+  cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  page_size = sysconf(_SC_PAGESIZE);
+#endif
+  out << "{\"host\":";
+  WriteJsonString(out, host);
+  out << ",\"os\":";
+  WriteJsonString(out, os);
+  out << ",\"kernel\":";
+  WriteJsonString(out, kernel);
+  out << ",\"arch\":";
+  WriteJsonString(out, arch);
+  out << ",\"cpu_model\":";
+  WriteJsonString(out, CpuModel());
+  out << ",\"cpus\":" << (cpus > 0 ? cpus : 0)
+      << ",\"page_size\":" << (page_size > 0 ? page_size : 0) << "}";
+}
+
+void WritePerfCountersObject(std::ostream& out) {
+  PerfCounters& counters = PerfCounters::Get();
+  const PerfSample totals = counters.totals();
+  out << "{\"enabled\":" << (counters.enabled() ? "true" : "false")
+      << ",\"available\":" << (counters.available() ? "true" : "false")
+      << ",\"totals\":{";
+  bool first = true;
+  for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+    if ((totals.mask & (1u << slot)) == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << PerfCounterName(slot) << "\":" << totals.value[slot];
+  }
+  out << "},\"derived\":{";
+  // Derived rates, each present only when both inputs were counted.
+  const auto has = [&totals](PerfCounterKind k) {
+    return (totals.mask & (1u << static_cast<int>(k))) != 0;
+  };
+  const auto value = [&totals](PerfCounterKind k) {
+    return static_cast<double>(totals.value[static_cast<int>(k)]);
+  };
+  first = true;
+  if (has(PerfCounterKind::kCycles) && has(PerfCounterKind::kInstructions) &&
+      value(PerfCounterKind::kCycles) > 0) {
+    out << "\"ipc\":";
+    WriteDouble(out, value(PerfCounterKind::kInstructions) /
+                         value(PerfCounterKind::kCycles));
+    first = false;
+  }
+  if (has(PerfCounterKind::kCacheReferences) &&
+      has(PerfCounterKind::kCacheMisses) &&
+      value(PerfCounterKind::kCacheReferences) > 0) {
+    if (!first) out << ",";
+    out << "\"cache_miss_rate\":";
+    WriteDouble(out, value(PerfCounterKind::kCacheMisses) /
+                         value(PerfCounterKind::kCacheReferences));
+    first = false;
+  }
+  if (has(PerfCounterKind::kBranchMisses) &&
+      has(PerfCounterKind::kInstructions) &&
+      value(PerfCounterKind::kInstructions) > 0) {
+    if (!first) out << ",";
+    out << "\"branch_miss_per_kilo_instruction\":";
+    WriteDouble(out, 1000.0 * value(PerfCounterKind::kBranchMisses) /
+                         value(PerfCounterKind::kInstructions));
+  }
+  out << "}}";
+}
+
+/// The per-phase section: every "mqa.phase.<name>.self_seconds"
+/// histogram, keyed by the bare phase name.
+void WritePhasesObject(std::ostream& out) {
+  out << "{";
+  bool first = true;
+  MetricsRegistry::Get().VisitHistograms(
+      [&out, &first](const std::string& name, const Histogram& h) {
+        constexpr const char kPrefix[] = "mqa.phase.";
+        constexpr const char kSuffix[] = ".self_seconds";
+        const size_t prefix_len = sizeof(kPrefix) - 1;
+        const size_t suffix_len = sizeof(kSuffix) - 1;
+        if (name.size() <= prefix_len + suffix_len) return;
+        if (name.compare(0, prefix_len, kPrefix) != 0) return;
+        if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) !=
+            0) {
+          return;
+        }
+        if (!first) out << ",";
+        first = false;
+        WriteJsonString(
+            out, name.substr(prefix_len,
+                             name.size() - prefix_len - suffix_len));
+        out << ":{\"count\":" << h.count() << ",\"sum\":";
+        WriteDouble(out, h.sum());
+        out << ",\"mean\":";
+        WriteDouble(out, h.mean());
+        out << ",\"p50\":";
+        WriteDouble(out, h.Quantile(0.50));
+        out << ",\"p90\":";
+        WriteDouble(out, h.Quantile(0.90));
+        out << ",\"p99\":";
+        WriteDouble(out, h.Quantile(0.99));
+        out << ",\"max\":";
+        WriteDouble(out, h.max());
+        out << "}";
+      });
+  out << "}";
+}
+
+void WriteEpochRow(std::ostream& out, const EpochReportRow& row) {
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(row.assignment_checksum));
+  out << "{\"instance\":" << row.instance << ",\"assigned\":" << row.assigned
+      << ",\"quality\":";
+  WriteDouble(out, row.quality);
+  out << ",\"cost\":";
+  WriteDouble(out, row.cost);
+  out << ",\"checksum\":\"" << checksum << "\",\"wall_seconds\":";
+  WriteDouble(out, row.wall_seconds);
+  out << ",\"phase_seconds\":{\"predict\":";
+  WriteDouble(out, row.predict_seconds);
+  out << ",\"assemble\":";
+  WriteDouble(out, row.assemble_seconds);
+  out << ",\"index\":";
+  WriteDouble(out, row.index_seconds);
+  out << ",\"assign\":";
+  WriteDouble(out, row.assign_seconds);
+  out << ",\"validate\":";
+  WriteDouble(out, row.validate_seconds);
+  out << ",\"apply\":";
+  WriteDouble(out, row.apply_seconds);
+  out << ",\"ingest\":";
+  WriteDouble(out, row.ingest_seconds);
+  out << ",\"backlog_scan\":";
+  WriteDouble(out, row.backlog_scan_seconds);
+  out << "}}";
+}
+
+}  // namespace
+
+RunReport& RunReport::Get() {
+  static RunReport* report = new RunReport();  // leaked on purpose
+  return *report;
+}
+
+void RunReport::SetConfig(const std::string& key, const std::string& value) {
+  std::ostringstream quoted;
+  WriteJsonString(quoted, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  config_[key] = quoted.str();
+}
+
+void RunReport::SetConfig(const std::string& key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_[key] = std::to_string(value);
+}
+
+void RunReport::SetConfig(const std::string& key, double value) {
+  std::ostringstream formatted;
+  WriteDouble(formatted, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  config_[key] = formatted.str();
+}
+
+void RunReport::SetConfig(const std::string& key, bool value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_[key] = value ? "true" : "false";
+}
+
+void RunReport::RecordEpoch(const EpochReportRow& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_.push_back(row);
+}
+
+void RunReport::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_.clear();
+  epochs_.clear();
+}
+
+int64_t RunReport::epoch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(epochs_.size());
+}
+
+std::string RunReport::ProvenanceFragment() {
+  std::ostringstream out;
+  out << "\"git\":{\"describe\":";
+  WriteJsonString(out, GitDescribe());
+  out << "},\"machine\":";
+  WriteMachineObject(out);
+  return out.str();
+}
+
+void RunReport::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"schema\": \"mqa-run-report-v1\",\n  \"git\": "
+         "{\"describe\": ";
+  WriteJsonString(out, GitDescribe());
+  out << "},\n  \"machine\": ";
+  WriteMachineObject(out);
+  out << ",\n  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, key);
+    out << ": " << value;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"perf_counters\": ";
+  WritePerfCountersObject(out);
+  out << ",\n  \"phases\": ";
+  WritePhasesObject(out);
+  out << ",\n  \"epochs\": [";
+  first = true;
+  for (const EpochReportRow& row : epochs_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteEpochRow(out, row);
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"metrics\": ";
+  // Full registry export nested verbatim (its own WriteJson emits a
+  // complete object).
+  std::ostringstream metrics;
+  MetricsRegistry::Get().WriteJson(metrics);
+  std::string metrics_str = metrics.str();
+  while (!metrics_str.empty() &&
+         (metrics_str.back() == '\n' || metrics_str.back() == ' ')) {
+    metrics_str.pop_back();
+  }
+  out << metrics_str;
+  out << "\n}\n";
+}
+
+std::string RunReport::ToJsonString() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+Status RunReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open run-report file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("error writing run-report file: " + path);
+  }
+  return Status::OK();
+}
+
+void RunReport::InitFromEnv() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* path = std::getenv("MQA_RUN_REPORT");
+  if (path == nullptr || path[0] == '\0') return;
+  static const std::string* report_path = new std::string(path);
+  std::atexit([] {
+    const Status status = Get().WriteJsonFile(*report_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "MQA_RUN_REPORT: %s\n", status.ToString().c_str());
+    }
+  });
+}
+
+}  // namespace mqa

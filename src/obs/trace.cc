@@ -99,8 +99,9 @@ void Tracer::SetCurrentThreadName(const std::string& name) {
   }
 }
 
-void Tracer::AppendComplete(const char* name, int64_t start_ns,
-                            int64_t duration_ns, int64_t arg) {
+void Tracer::AppendEvent(const char* name, int64_t start_ns,
+                         int64_t duration_ns, int64_t arg,
+                         const PerfSample* perf) {
   ThreadBuffer* buffer = CurrentThreadBuffer();
   Chunk* tail = buffer->tail.load(std::memory_order_relaxed);
   size_t count = tail->count.load(std::memory_order_relaxed);
@@ -118,8 +119,82 @@ void Tracer::AppendComplete(const char* name, int64_t start_ns,
   event.start_ns = start_ns;
   event.duration_ns = duration_ns;
   event.arg = arg;
+  if (perf != nullptr) {
+    event.perf_mask = perf->mask;
+    for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+      event.perf[slot] = perf->value[slot];
+    }
+  } else {
+    event.perf_mask = 0;
+  }
   // Publish: readers acquire `count` and see the fully written event.
   tail->count.store(count + 1, std::memory_order_release);
+}
+
+void Tracer::AppendComplete(const char* name, int64_t start_ns,
+                            int64_t duration_ns, int64_t arg) {
+  AppendEvent(name, start_ns, duration_ns, arg, nullptr);
+}
+
+void Tracer::BeginSpan(const char* name, int64_t start_ns) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  const int depth = buffer->open_depth.load(std::memory_order_relaxed);
+  if (depth < ThreadBuffer::kMaxOpenSpans) {
+    OpenSpan& slot = buffer->open_spans[depth];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  }
+  // Release: the watchdog acquires open_depth and must see the frame.
+  buffer->open_depth.store(depth + 1, std::memory_order_release);
+}
+
+void Tracer::EndSpan(const char* name, int64_t start_ns, int64_t duration_ns,
+                     int64_t arg, const PerfSample* perf) {
+  AppendEvent(name, start_ns, duration_ns, arg, perf);
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  const int depth = buffer->open_depth.load(std::memory_order_relaxed);
+  if (depth > 0) {
+    buffer->open_depth.store(depth - 1, std::memory_order_release);
+    // A pop to depth 0 closes a top-level span on this thread: its delta
+    // already contains every nested span, so only it feeds the totals.
+    if (depth == 1 && perf != nullptr) {
+      PerfCounters::Get().AddToTotals(*perf);
+    }
+  }
+}
+
+int Tracer::open_depth_for_testing() {
+  return CurrentThreadBuffer()->open_depth.load(std::memory_order_relaxed);
+}
+
+void Tracer::DumpOpenSpans(std::ostream& out) const {
+  const int64_t now_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any = false;
+  for (const auto& buffer : buffers_) {
+    const int depth = buffer->open_depth.load(std::memory_order_acquire);
+    if (depth == 0) continue;
+    any = true;
+    out << "  thread " << buffer->tid;
+    if (!buffer->name.empty()) out << " (" << buffer->name << ")";
+    out << ": " << depth << " open span" << (depth == 1 ? "" : "s") << "\n";
+    const int shown = std::min(depth, ThreadBuffer::kMaxOpenSpans);
+    for (int level = 0; level < shown; ++level) {
+      const OpenSpan& span = buffer->open_spans[level];
+      const char* name = span.name.load(std::memory_order_acquire);
+      const int64_t start_ns = span.start_ns.load(std::memory_order_acquire);
+      if (name == nullptr) continue;
+      out << "    ";
+      for (int i = 0; i < level; ++i) out << "  ";
+      out << name << "  +"
+          << static_cast<double>(now_ns - start_ns) * 1e-6 << " ms\n";
+    }
+    if (depth > ThreadBuffer::kMaxOpenSpans) {
+      out << "    ... " << depth - ThreadBuffer::kMaxOpenSpans
+          << " deeper span(s) not recorded\n";
+    }
+  }
+  if (!any) out << "  (no spans in flight)\n";
 }
 
 int64_t Tracer::event_count() const {
@@ -223,8 +298,20 @@ void Tracer::WriteJson(std::ostream& out) const {
       out << ",\"dur\":";
       WriteMicros(out, event->duration_ns);
       out << ",\"pid\":1,\"tid\":" << buffer->tid;
-      if (event->arg != TraceEvent::kNoArg) {
-        out << ",\"args\":{\"v\":" << event->arg << "}";
+      if (event->arg != TraceEvent::kNoArg || event->perf_mask != 0) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        if (event->arg != TraceEvent::kNoArg) {
+          out << "\"v\":" << event->arg;
+          first_arg = false;
+        }
+        for (int slot = 0; slot < kNumPerfCounters; ++slot) {
+          if ((event->perf_mask & (1u << slot)) == 0) continue;
+          if (!first_arg) out << ",";
+          first_arg = false;
+          out << "\"" << PerfCounterName(slot) << "\":" << event->perf[slot];
+        }
+        out << "}";
       }
       out << "}";
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/perf_counters.h"
 
 namespace mqa {
 
@@ -24,6 +25,13 @@ struct TraceEvent {
   /// Optional integer payload (kNoArg = none), e.g. the epoch index or a
   /// shard id; exported as "args":{"v":N}.
   int64_t arg = kNoArg;
+
+  /// Hardware-counter deltas over the span (--perf-counters): slot i is
+  /// valid when perf_mask bit i is set, exported as additional arg keys
+  /// ("cycles", "instructions", ... — see obs/perf_counters.h). Guarded
+  /// by perf_mask, so the slots need no initializer.
+  uint64_t perf[kNumPerfCounters];
+  uint8_t perf_mask = 0;
 
   static constexpr int64_t kNoArg = INT64_MIN;
 };
@@ -89,6 +97,25 @@ class Tracer {
   void AppendComplete(const char* name, int64_t start_ns, int64_t duration_ns,
                       int64_t arg = TraceEvent::kNoArg);
 
+  /// Span open/close bracket used by TraceSpan. BeginSpan pushes the
+  /// span onto the calling thread's open-span stack (the flight
+  /// recorder's view of what is in flight right now); EndSpan appends
+  /// the finished event — with counter deltas when `perf` is non-null —
+  /// pops the stack, and folds the deltas of top-level spans into
+  /// PerfCounters totals (nested phase spans never double-count).
+  void BeginSpan(const char* name, int64_t start_ns);
+  void EndSpan(const char* name, int64_t start_ns, int64_t duration_ns,
+               int64_t arg, const PerfSample* perf);
+
+  /// Flight-recorder dump: every registered thread's stack of in-flight
+  /// spans (name, elapsed time), deepest last. Safe to call from any
+  /// thread while spans open and close concurrently — entries are read
+  /// with acquire loads and a racing frame is at worst one span stale.
+  void DumpOpenSpans(std::ostream& out) const;
+
+  /// Current open-span depth of the calling thread (tests).
+  int open_depth_for_testing();
+
   /// Serializes every thread's published events as Chrome trace-event
   /// JSON ("traceEvents" array of "X" events plus thread_name metadata;
   /// timestamps in microseconds, events sorted by start time per thread).
@@ -119,14 +146,28 @@ class Tracer {
     TraceEvent events[kCapacity];
   };
 
+  // One live (not yet closed) span on a thread's stack. Written by the
+  // owning thread with relaxed stores published by the depth's release
+  // store; read by the watchdog with acquire loads.
+  struct OpenSpan {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<int64_t> start_ns{0};
+  };
+
   // One thread's buffer + identity. Registered once (under mu_) on the
   // thread's first span; never unregistered — a thread that exits leaves
   // its events behind for the shutdown flush.
   struct ThreadBuffer {
+    // Spans deeper than this are counted in open_depth but not recorded
+    // in the stack (no real nesting is anywhere near it).
+    static constexpr int kMaxOpenSpans = 32;
+
     int64_t tid = 0;
     std::string name;  // guarded by Tracer::mu_
     std::unique_ptr<Chunk> head;
     std::atomic<Chunk*> tail{nullptr};
+    OpenSpan open_spans[kMaxOpenSpans];
+    std::atomic<int> open_depth{0};
 
     // Overflow chunks are raw-linked (owner-thread growth); reclaim them
     // here (only Reset() destroys buffers, and only when no thread can be
@@ -147,6 +188,8 @@ class Tracer {
   ~Tracer() = delete;  // intentionally leaked (threads may outlive main)
 
   ThreadBuffer* CurrentThreadBuffer();
+  void AppendEvent(const char* name, int64_t start_ns, int64_t duration_ns,
+                   int64_t arg, const PerfSample* perf);
 
   std::atomic<bool> enabled_{false};
   std::atomic<ClockFn> test_clock_{nullptr};
@@ -159,7 +202,9 @@ class Tracer {
 };
 
 /// RAII span: records [construction, destruction) on the calling thread's
-/// track when the tracer was enabled at construction.
+/// track when the tracer was enabled at construction. With PerfCounters
+/// active, additionally reads the thread's hardware-counter group at both
+/// ends and attaches the deltas to the recorded event.
 class TraceSpan {
  public:
   /// A null `name` records nothing (the MQA_TRACE_SPAN_IF gate).
@@ -169,13 +214,26 @@ class TraceSpan {
       name_ = name;
       arg_ = arg;
       start_ns_ = tracer.NowNs();
+      tracer.BeginSpan(name, start_ns_);
+      PerfCounters& counters = PerfCounters::Get();
+      perf_ok_ = counters.active() && counters.ReadCurrentThread(&start_perf_);
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
       Tracer& tracer = Tracer::Get();
-      tracer.AppendComplete(name_, start_ns_, tracer.NowNs() - start_ns_,
-                            arg_);
+      const int64_t duration_ns = tracer.NowNs() - start_ns_;
+      PerfSample delta;
+      bool has_delta = false;
+      if (perf_ok_) {
+        PerfSample end;
+        if (PerfCounters::Get().ReadCurrentThread(&end)) {
+          delta = PerfCounters::Delta(start_perf_, end);
+          has_delta = true;
+        }
+      }
+      tracer.EndSpan(name_, start_ns_, duration_ns, arg_,
+                     has_delta ? &delta : nullptr);
     }
   }
 
@@ -186,6 +244,8 @@ class TraceSpan {
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
   int64_t arg_ = TraceEvent::kNoArg;
+  bool perf_ok_ = false;
+  PerfSample start_perf_;
 };
 
 }  // namespace mqa

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,6 +11,7 @@
 #include "model/assignment.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "prediction/grid.h"
 
 namespace mqa {
@@ -20,6 +22,32 @@ double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+uint64_t Fnv1aWord(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a fingerprint of the assignment: the pair list in emission order
+/// plus the quality/cost totals bit-for-bit. Deterministic runs agree on
+/// it exactly; run reports record it per epoch as a cheap cross-machine
+/// byte-identity witness.
+uint64_t AssignmentChecksum(const AssignmentResult& result) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const Assignment& a : result.pairs) {
+    h = Fnv1aWord(h, static_cast<uint64_t>(a.worker_index));
+    h = Fnv1aWord(h, static_cast<uint64_t>(a.task_index));
+  }
+  uint64_t bits = 0;
+  std::memcpy(&bits, &result.total_quality, sizeof(bits));
+  h = Fnv1aWord(h, bits);
+  std::memcpy(&bits, &result.total_cost, sizeof(bits));
+  h = Fnv1aWord(h, bits);
+  return h;
 }
 
 }  // namespace
@@ -67,6 +95,8 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
 
   MQA_TRACE_SPAN_ARG("epoch", epoch_index);
   MQA_METRIC_COUNT("mqa.epoch.count", 1);
+  // Flight recorder: a wedged epoch dumps every thread's open spans.
+  Watchdog::EpochGuard watchdog_guard(epoch_index);
 
   const auto t_start = std::chrono::steady_clock::now();
   // Phase stopwatch: each TakePhase() returns the seconds since the last
@@ -184,12 +214,24 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
   metrics.assigned = static_cast<int64_t>(outcome.result.pairs.size());
   metrics.quality = outcome.result.total_quality;
   metrics.cost = outcome.result.total_cost;
+  metrics.assignment_checksum = AssignmentChecksum(outcome.result);
   MQA_METRIC_COUNT("mqa.epoch.assigned_total", metrics.assigned);
   MQA_METRIC_RECORD("mqa.epoch.wall_seconds", metrics.cpu_seconds);
   MQA_METRIC_RECORD("mqa.epoch.predict_seconds", metrics.predict_seconds);
   MQA_METRIC_RECORD("mqa.epoch.assign_seconds", metrics.assign_seconds);
   MQA_METRIC_RECORD("mqa.epoch.pool_build_seconds",
                     metrics.pool_build_seconds);
+  // Per-phase self-time histograms: p50/p99 phase times without loading
+  // a trace (each epoch-level phase span has no sibling overlap, so lap
+  // time here IS the span's self time).
+  MQA_METRIC_RECORD("mqa.phase.predict.self_seconds",
+                    metrics.predict_seconds);
+  MQA_METRIC_RECORD("mqa.phase.assemble.self_seconds",
+                    metrics.assemble_seconds);
+  MQA_METRIC_RECORD("mqa.phase.index.self_seconds", metrics.index_seconds);
+  MQA_METRIC_RECORD("mqa.phase.assign.self_seconds", metrics.assign_seconds);
+  MQA_METRIC_RECORD("mqa.phase.validate.self_seconds",
+                    metrics.validate_seconds);
 
   // --- Mark consumed entities and compute rejoins (lines 6-7). ---
   MQA_TRACE_SPAN("epoch/apply");
@@ -224,6 +266,7 @@ Result<EpochOutcome> EpochRunner::RunEpoch(
     }
   }
   metrics.apply_seconds = TakePhase();
+  MQA_METRIC_RECORD("mqa.phase.apply.self_seconds", metrics.apply_seconds);
 
   return outcome;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/types.h"
+#include "obs/run_report.h"
 
 namespace mqa {
 
@@ -24,6 +25,12 @@ struct InstanceMetrics {
   double quality = 0.0;
   double cost = 0.0;
 
+  /// FNV-1a fingerprint of the epoch's assignment (pair indices plus the
+  /// quality/cost bit patterns). A pure function of the computed result,
+  /// so it is covered by — and a cheap witness for — the byte-identity
+  /// contract; run reports record it per epoch.
+  uint64_t assignment_checksum = 0;
+
   /// Wall-clock seconds spent in prediction + assignment for the
   /// instance (the paper's "running time per time instance").
   double cpu_seconds = 0.0;
@@ -39,6 +46,12 @@ struct InstanceMetrics {
   double assign_seconds = 0.0;    // Assigner::Assign (includes pool build)
   double validate_seconds = 0.0;  // ValidateAssignment (0 when disabled)
   double apply_seconds = 0.0;     // consumed marking + rejoin computation
+
+  /// Streaming-engine-only phases (0 in batch mode, keeping batch and
+  /// stream reports field-compatible): event-queue drain into the epoch,
+  /// and the coverable-backlog rescan of deferred tasks.
+  double ingest_seconds = 0.0;
+  double backlog_scan_seconds = 0.0;
 
   /// Seconds inside BuildPairPool during Assign (from PairPoolStats).
   double pool_build_seconds = 0.0;
@@ -66,6 +79,11 @@ struct InstanceMetrics {
   /// skipped; 0 when the pool had no predicted pairs).
   double pool_lazy_skipped_fraction = 0.0;
 };
+
+/// Projects an epoch's metrics onto the run report's layering-clean row
+/// (obs must not see sim types). Both simulators feed RunReport through
+/// this.
+EpochReportRow ToEpochReportRow(const InstanceMetrics& m);
 
 /// Whole-run aggregates.
 struct SimulationSummary {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/run_report.h"
 #include "sim/epoch_runner.h"
 
 namespace mqa {
@@ -82,6 +83,7 @@ Result<SimulationSummary> Simulator::Run(const ArrivalStream& stream,
     available_workers = std::move(carried_workers);
     available_tasks = std::move(carried_tasks);
 
+    RunReport::Get().RecordEpoch(ToEpochReportRow(outcome.metrics));
     summary.per_instance.push_back(outcome.metrics);
   }
 

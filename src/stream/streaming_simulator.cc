@@ -1,6 +1,7 @@
 #include "stream/streaming_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_set>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "sim/epoch_runner.h"
 
@@ -326,10 +328,15 @@ class Engine {
     EpochStreamMetrics em;
     em.epoch_time = t;
     em.fire_reason = reason;
+    double ingest_seconds = 0.0;
     {
       MQA_TRACE_SPAN("stream/ingest");
+      const auto t_ingest = std::chrono::steady_clock::now();
       AgeTasks(t, &em);
       MQA_RETURN_NOT_OK(Ingest(t, &em));
+      ingest_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t_ingest)
+                           .count();
     }
     em.ingested_workers = static_cast<int64_t>(new_workers_.size());
     em.ingested_tasks = static_cast<int64_t>(new_tasks_.size());
@@ -344,8 +351,20 @@ class Engine {
     em.instance = outcome.metrics;
     {
       MQA_TRACE_SPAN("stream/coverable_backlog");
+      const auto t_backlog = std::chrono::steady_clock::now();
       em.coverable_backlog = CoverableBacklog(workers_.size());
+      em.instance.backlog_scan_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t_backlog)
+              .count();
     }
+    // Stream-only phases, surfaced so batch and stream reports stay
+    // field-compatible (--phase-timing CSV and run-report rows).
+    em.instance.ingest_seconds = ingest_seconds;
+    MQA_METRIC_RECORD("mqa.phase.ingest.self_seconds", ingest_seconds);
+    MQA_METRIC_RECORD("mqa.phase.backlog_scan.self_seconds",
+                      em.instance.backlog_scan_seconds);
+    RunReport::Get().RecordEpoch(ToEpochReportRow(em.instance));
     MQA_METRIC_RECORD("mqa.stream.epoch_latency_seconds",
                       outcome.metrics.cpu_seconds);
     MQA_METRIC_GAUGE_SET("mqa.stream.backlog",

@@ -4,6 +4,11 @@
 // untraced run, across {greedy, D&C} x {1, 4} threads x batch/stream.
 // Spans only read the clock and write side buffers; if anything ever
 // feeds back into the computation, these tests catch it.
+//
+// Hardware-counter capture extends the same contract: a counted run
+// (perf counters enabled — live where the kernel allows, and in the
+// forced-unavailable fallback everywhere) must also be byte-identical
+// to an uncounted run.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +18,7 @@
 
 #include "core/assigner.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
@@ -58,6 +64,7 @@ struct ResultFingerprint {
 
 void AppendInstance(const InstanceMetrics& m, ResultFingerprint* fp) {
   fp->ints.push_back(m.instance);
+  fp->ints.push_back(static_cast<int64_t>(m.assignment_checksum));
   fp->ints.push_back(m.workers_available);
   fp->ints.push_back(m.tasks_available);
   fp->ints.push_back(m.predicted_workers);
@@ -157,11 +164,17 @@ class ObsPropertyTest : public ::testing::TestWithParam<ObsCase> {
     Tracer::Get().Disable();
     Tracer::Get().Reset();
     MetricsRegistry::Get().Reset();
+    PerfCounters::Get().Disable();
+    PerfCounters::Get().ForceUnavailableForTesting(false);
+    PerfCounters::Get().ResetForTesting();
   }
   void TearDown() override {
     Tracer::Get().Disable();
     Tracer::Get().Reset();
     MetricsRegistry::Get().Reset();
+    PerfCounters::Get().Disable();
+    PerfCounters::Get().ForceUnavailableForTesting(false);
+    PerfCounters::Get().ResetForTesting();
   }
 };
 
@@ -187,6 +200,44 @@ TEST_P(ObsPropertyTest, TracedStreamRunIsByteIdentical) {
 #endif
   EXPECT_TRUE(traced == untraced)
       << "enabling the tracer changed streaming results";
+}
+
+TEST_P(ObsPropertyTest, CountedBatchRunIsByteIdentical) {
+  const ResultFingerprint uncounted = RunBatch(GetParam());
+  Tracer::Get().Enable();
+  PerfCounters::Get().Enable();  // live capture where the kernel allows
+  const ResultFingerprint counted = RunBatch(GetParam());
+  PerfCounters::Get().Disable();
+  Tracer::Get().Disable();
+  EXPECT_TRUE(counted == uncounted)
+      << "enabling perf counters changed batch results";
+}
+
+TEST_P(ObsPropertyTest, CountedStreamRunIsByteIdentical) {
+  const ResultFingerprint uncounted = RunStream(GetParam());
+  Tracer::Get().Enable();
+  PerfCounters::Get().Enable();
+  const ResultFingerprint counted = RunStream(GetParam());
+  PerfCounters::Get().Disable();
+  Tracer::Get().Disable();
+  EXPECT_TRUE(counted == uncounted)
+      << "enabling perf counters changed streaming results";
+}
+
+TEST_P(ObsPropertyTest, CounterFallbackBatchRunIsByteIdentical) {
+  // The graceful-degradation path (no perf_event access) must be just
+  // as invisible as the live path.
+  const ResultFingerprint uncounted = RunBatch(GetParam());
+  Tracer::Get().Enable();
+  PerfCounters::Get().ForceUnavailableForTesting(true);
+  PerfCounters::Get().Enable();
+  const ResultFingerprint counted = RunBatch(GetParam());
+  EXPECT_FALSE(PerfCounters::Get().active());
+  PerfCounters::Get().Disable();
+  PerfCounters::Get().ForceUnavailableForTesting(false);
+  Tracer::Get().Disable();
+  EXPECT_TRUE(counted == uncounted)
+      << "the counters-unavailable fallback changed batch results";
 }
 
 std::vector<ObsCase> MakeCases() {

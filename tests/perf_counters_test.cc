@@ -1,0 +1,200 @@
+// Unit tests for src/obs/perf_counters.cc: the graceful-fallback
+// contract (forced-unavailable capture behaves exactly like no capture),
+// the multiplexing-corrected Delta arithmetic, totals accumulation
+// through the tracer's top-level-span hook, and the counter args in the
+// trace JSON.
+//
+// Real perf_event availability varies by machine (bare metal: yes;
+// most containers/CI: no), so every assertion here must hold on BOTH —
+// tests force the unavailable path explicitly where they need it, and
+// treat live capture as optional everywhere else.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+
+namespace mqa {
+namespace {
+
+std::atomic<int64_t> g_fake_now{0};
+int64_t FakeClock() { return g_fake_now.load(std::memory_order_relaxed); }
+
+class PerfCountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Reset();
+    g_fake_now.store(0, std::memory_order_relaxed);
+    Tracer::Get().SetClockForTesting(&FakeClock);
+    PerfCounters::Get().ResetForTesting();
+  }
+  void TearDown() override {
+    PerfCounters::Get().Disable();
+    PerfCounters::Get().ForceUnavailableForTesting(false);
+    PerfCounters::Get().ResetForTesting();
+    Tracer::Get().Disable();
+    Tracer::Get().SetClockForTesting(nullptr);
+    Tracer::Get().Reset();
+  }
+};
+
+TEST_F(PerfCountersTest, DisabledReadsReturnFalse) {
+  PerfSample sample;
+  EXPECT_FALSE(PerfCounters::Get().ReadCurrentThread(&sample));
+  EXPECT_FALSE(PerfCounters::Get().active());
+}
+
+TEST_F(PerfCountersTest, ForcedUnavailableDegradesToNoOp) {
+  // The containers/CI path, forced so it is testable anywhere: every
+  // open fails as if perf_event_open returned EPERM.
+  PerfCounters::Get().ForceUnavailableForTesting(true);
+  PerfCounters::Get().Enable();
+  EXPECT_TRUE(PerfCounters::Get().enabled());
+  EXPECT_FALSE(PerfCounters::Get().available());
+  EXPECT_FALSE(PerfCounters::Get().active());
+  PerfSample sample;
+  EXPECT_FALSE(PerfCounters::Get().ReadCurrentThread(&sample));
+}
+
+TEST_F(PerfCountersTest, ForcedUnavailableSpansRecordWithoutCounterArgs) {
+  PerfCounters::Get().ForceUnavailableForTesting(true);
+  PerfCounters::Get().Enable();
+  Tracer::Get().Enable();
+  {
+    MQA_TRACE_SPAN("unit/uncounted");
+    g_fake_now = 500;
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 1);
+  const std::string json = Tracer::Get().ToJsonString();
+  EXPECT_NE(json.find("unit/uncounted"), std::string::npos);
+  // Degraded capture must look exactly like no capture: no counter keys.
+  EXPECT_EQ(json.find("task_clock_ns"), std::string::npos) << json;
+  EXPECT_EQ(json.find("cycles"), std::string::npos) << json;
+  // And nothing reaches the totals.
+  EXPECT_EQ(PerfCounters::Get().totals().mask, 0);
+}
+
+TEST_F(PerfCountersTest, CounterNamesAreStable) {
+  EXPECT_STREQ(PerfCounterName(0), "task_clock_ns");
+  EXPECT_STREQ(PerfCounterName(1), "cycles");
+  EXPECT_STREQ(PerfCounterName(2), "instructions");
+  EXPECT_STREQ(PerfCounterName(3), "cache_references");
+  EXPECT_STREQ(PerfCounterName(4), "cache_misses");
+  EXPECT_STREQ(PerfCounterName(5), "branch_misses");
+}
+
+TEST_F(PerfCountersTest, DeltaSubtractsAndMasksIntersect) {
+  PerfSample start, end;
+  start.mask = 0b000011;  // task-clock + cycles
+  end.mask = 0b000111;    // task-clock + cycles + instructions
+  start.value[0] = 100;
+  end.value[0] = 350;
+  start.value[1] = 1000;
+  end.value[1] = 5000;
+  start.time_enabled_ns = end.time_enabled_ns = 0;
+  start.time_running_ns = end.time_running_ns = 0;
+  end.time_enabled_ns = 1000;
+  end.time_running_ns = 1000;  // fully scheduled: scale 1
+  const PerfSample delta = PerfCounters::Delta(start, end);
+  EXPECT_EQ(delta.mask, 0b000011);
+  EXPECT_EQ(delta.value[0], 250u);
+  EXPECT_EQ(delta.value[1], 4000u);
+}
+
+TEST_F(PerfCountersTest, DeltaScalesHardwareSlotsForMultiplexing) {
+  PerfSample start, end;
+  start.mask = end.mask = 0b000011;
+  start.value[0] = 0;
+  end.value[0] = 1000;  // task-clock: software, never scaled
+  start.value[1] = 0;
+  end.value[1] = 600;  // cycles counted only half the time
+  end.time_enabled_ns = 1000;
+  end.time_running_ns = 500;
+  const PerfSample delta = PerfCounters::Delta(start, end);
+  EXPECT_EQ(delta.value[0], 1000u) << "software slot must stay raw";
+  EXPECT_EQ(delta.value[1], 1200u) << "hardware slot scaled by 2x";
+}
+
+TEST_F(PerfCountersTest, AddToTotalsAccumulatesAndUnionsMasks) {
+  PerfSample a;
+  a.mask = 0b000001;
+  a.value[0] = 10;
+  PerfSample b;
+  b.mask = 0b000010;
+  b.value[1] = 7;
+  PerfCounters::Get().AddToTotals(a);
+  PerfCounters::Get().AddToTotals(b);
+  PerfCounters::Get().AddToTotals(a);
+  const PerfSample totals = PerfCounters::Get().totals();
+  EXPECT_EQ(totals.mask, 0b000011);
+  EXPECT_EQ(totals.value[0], 20u);
+  EXPECT_EQ(totals.value[1], 7u);
+}
+
+TEST_F(PerfCountersTest, TopLevelSpanFeedsTotalsNestedDoesNot) {
+  // EndSpan folds a delta into totals only when the pop reaches depth 0;
+  // feed deltas through the tracer directly (no real syscall needed).
+  Tracer::Get().Enable();
+  PerfSample outer_delta;
+  outer_delta.mask = 0b000001;
+  outer_delta.value[0] = 100;
+  PerfSample inner_delta;
+  inner_delta.mask = 0b000001;
+  inner_delta.value[0] = 40;
+
+  Tracer& tracer = Tracer::Get();
+  tracer.BeginSpan("outer", 0);
+  tracer.BeginSpan("inner", 10);
+  tracer.EndSpan("inner", 10, 5, TraceEvent::kNoArg, &inner_delta);
+  // Inner pop left depth 1: nothing in totals yet.
+  EXPECT_EQ(PerfCounters::Get().totals().value[0], 0u);
+  tracer.EndSpan("outer", 0, 50, TraceEvent::kNoArg, &outer_delta);
+  // Outer pop reached depth 0: only the outer (inclusive) delta counts.
+  EXPECT_EQ(PerfCounters::Get().totals().value[0], 100u);
+}
+
+TEST_F(PerfCountersTest, CounterArgsAppearInTraceJson) {
+  Tracer::Get().Enable();
+  PerfSample delta;
+  delta.mask = 0b000111;
+  delta.value[0] = 1111;
+  delta.value[1] = 2222;
+  delta.value[2] = 3333;
+  Tracer& tracer = Tracer::Get();
+  tracer.BeginSpan("unit/counted", 0);
+  tracer.EndSpan("unit/counted", 0, 100, /*arg=*/7, &delta);
+  const std::string json = Tracer::Get().ToJsonString();
+  EXPECT_NE(json.find("\"v\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"task_clock_ns\":1111"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cycles\":2222"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"instructions\":3333"), std::string::npos) << json;
+  EXPECT_EQ(json.find("cache_references"), std::string::npos)
+      << "unset slots must not be exported: " << json;
+}
+
+TEST_F(PerfCountersTest, LiveCaptureIfAvailableIsMonotonic) {
+  // On machines with a working perf subsystem, exercise the real
+  // syscall; elsewhere this documents the silent no-op.
+  PerfCounters::Get().Enable();
+  PerfSample first;
+  if (!PerfCounters::Get().ReadCurrentThread(&first)) {
+    EXPECT_FALSE(PerfCounters::Get().available());
+    return;
+  }
+  EXPECT_TRUE(PerfCounters::Get().available());
+  // The group leader (task-clock) always opens when anything does.
+  EXPECT_NE(first.mask & 1u, 0u);
+  // Burn a little CPU so the second reading strictly advances.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i) * 1e-9;
+  PerfSample second;
+  ASSERT_TRUE(PerfCounters::Get().ReadCurrentThread(&second));
+  const PerfSample delta = PerfCounters::Delta(first, second);
+  EXPECT_GT(delta.value[0], 0u) << "task-clock must advance";
+}
+
+}  // namespace
+}  // namespace mqa
