@@ -83,10 +83,10 @@ std::vector<VariantResult> RunAllVariants(const ArrivalStream& stream,
 
 /// Initializes every environment-driven observability surface in one
 /// place — MQA_TRACE, MQA_METRICS_JSON, MQA_RUN_REPORT,
-/// MQA_PERF_COUNTERS and MQA_WATCHDOG — so all benches honor the same
-/// variables uniformly. PrintHeader calls this; benches that print their
-/// own headers (index_bench, parallel_bench, table1_example) call it
-/// directly. Idempotent.
+/// MQA_PERF_COUNTERS, MQA_WATCHDOG, MQA_TIMELINE and MQA_STATS_PORT —
+/// so all benches honor the same variables uniformly. PrintHeader calls
+/// this; benches that print their own headers (index_bench,
+/// parallel_bench, table1_example) call it directly. Idempotent.
 void InitObservability();
 
 /// The run report's {"git": ..., "machine": ...} identity pair as a JSON

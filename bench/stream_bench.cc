@@ -193,6 +193,25 @@ int RunBench() {
     rows.push_back({"adaptive", p});
   }
 
+  // Machine-readable per-policy rows for BENCH_stream.json (CI history
+  // and the perf-regression gate).
+  struct PolicyResult {
+    const char* label;
+    size_t epochs;
+    int64_t events;
+    int64_t assigned;
+    int64_t expired;
+    double quality;
+    double run_seconds;
+    double latency_p50;
+    double latency_p99;
+    double wait_p50;
+    double wait_p99;
+    double mean_backlog;
+    int64_t max_backlog;
+  };
+  std::vector<PolicyResult> results;
+
   std::printf("%-14s %7s %9s %9s %9s %8s %8s %9s %8s %8s\n", "policy",
               "epochs", "assigned", "expired", "quality", "lat p50",
               "lat p99", "wait p50", "wait p99", "maxlog");
@@ -204,8 +223,10 @@ int RunBench() {
     config.horizon = horizon;
     StreamingSimulator sim(config, &quality);
     auto assigner = CreateAssigner(AssignerKind::kGreedy, {.seed = 3});
+    t0 = std::chrono::steady_clock::now();
     const auto summary =
         sim.Run(EventQueue::FromScenario(scenario), assigner.get());
+    const double run_seconds = SecondsSince(t0);
     if (!summary.ok()) {
       std::printf("FAIL: %s: %s\n", row.label,
                   summary.status().ToString().c_str());
@@ -219,7 +240,64 @@ int RunBench() {
                 static_cast<long long>(s.total_expired), s.total_quality,
                 s.p50_epoch_latency, s.p99_epoch_latency, s.p50_queue_wait,
                 s.p99_queue_wait, static_cast<long long>(s.max_backlog));
+
+    PolicyResult r;
+    r.label = row.label;
+    r.epochs = s.per_epoch.size();
+    r.events = 0;
+    for (const EpochStreamMetrics& e : s.per_epoch) {
+      r.events += e.ingested_workers + e.ingested_tasks;
+    }
+    r.assigned = s.total_assigned;
+    r.expired = s.total_expired;
+    r.quality = s.total_quality;
+    r.run_seconds = run_seconds;
+    r.latency_p50 = s.p50_epoch_latency;
+    r.latency_p99 = s.p99_epoch_latency;
+    r.wait_p50 = s.p50_queue_wait;
+    r.wait_p99 = s.p99_queue_wait;
+    r.mean_backlog = s.mean_backlog;
+    r.max_backlog = s.max_backlog;
+    results.push_back(r);
   }
+
+  // Machine-readable record for CI history and the regression gate
+  // (scripts/check_bench_regression.py): the integer count fields are
+  // deterministic (exact-matched against the committed baseline at the
+  // same n), the *_seconds fields are tolerance-gated timings.
+  if (FILE* json = std::fopen("BENCH_stream.json", "w")) {
+    std::fprintf(json, "{\n  \"regime\": \"bursty-flash-crowd\",\n");
+    std::fprintf(json, "  \"provenance\": {%s},\n",
+                 bench::ProvenanceFragment().c_str());
+    std::fprintf(json, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PolicyResult& r = results[i];
+      std::fprintf(
+          json,
+          "    {\"policy\": \"%s\", \"n\": %lld, \"epochs\": %zu, "
+          "\"events\": %lld, \"assigned\": %lld, \"expired\": %lld, "
+          "\"quality\": %.6f, \"run_seconds\": %.6f, "
+          "\"events_per_second\": %.0f, \"latency_p50_seconds\": %.6f, "
+          "\"latency_p99_seconds\": %.6f, \"wait_p50\": %.6f, "
+          "\"wait_p99\": %.6f, \"mean_backlog\": %.2f, "
+          "\"max_backlog\": %lld}%s\n",
+          r.label, static_cast<long long>(n), r.epochs,
+          static_cast<long long>(r.events),
+          static_cast<long long>(r.assigned),
+          static_cast<long long>(r.expired), r.quality, r.run_seconds,
+          r.run_seconds > 0.0 ? static_cast<double>(r.events) / r.run_seconds
+                              : 0.0,
+          r.latency_p50, r.latency_p99, r.wait_p50, r.wait_p99,
+          r.mean_backlog, static_cast<long long>(r.max_backlog),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_stream.json\n");
+  } else {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_stream.json\n");
+  }
+
   std::printf("\nall self-checks passed\n");
   return 0;
 }

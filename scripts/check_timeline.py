@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Schema validator for mqa-timeline-v1 JSONL artifacts (--timeline /
+MQA_TIMELINE / the stats server's /timeline endpoint).
+
+Checks, in order:
+  - the first line is a header object with schema == "mqa-timeline-v1"
+    and the cadence/ring config keys;
+  - every following line is a snapshot object carrying exactly the known
+    top-level keys (an unknown key means the writer and this validator
+    disagree about the schema version — fail loudly, don't guess);
+  - seq is consecutive (the recorder numbers snapshots densely; a gap
+    means lines were lost);
+  - wall_s and cpu_s are monotone non-decreasing, rss_bytes and
+    peak_rss_bytes non-negative;
+  - counter values are non-negative integer *deltas* (a negative delta
+    would mean a counter ran backwards);
+  - histogram entries have monotone non-decreasing cumulative counts and
+    ordered quantiles (p50 <= p90 <= p99 <= max);
+  - trigger is one of the known trigger tags.
+
+Usage:
+  check_timeline.py FILE [--min-snapshots N]
+
+Exits 0 when the artifact validates, 1 with a message otherwise. CI runs
+this on the timeline produced by the smoke runs, in the normal and
+sanitizer jobs both.
+"""
+
+import argparse
+import json
+import sys
+
+HEADER_KEYS = {"schema", "every_epochs", "every_sim_seconds",
+               "every_wall_seconds", "ring_capacity"}
+SNAPSHOT_KEYS = {"seq", "trigger", "wall_s", "epoch", "sim_time",
+                 "rss_bytes", "peak_rss_bytes", "cpu_s", "counters",
+                 "gauges", "hist"}
+HIST_KEYS = {"count", "p50", "p90", "p99", "max"}
+TRIGGERS = {"epoch", "sim", "wall", "manual", "final"}
+
+
+def fail(lineno, msg):
+    print(f"FAIL: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="mqa-timeline-v1 JSONL file")
+    parser.add_argument("--min-snapshots", type=int, default=1,
+                        help="require at least this many snapshot lines")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            lines = [line for line in f.read().splitlines() if line.strip()]
+    except OSError as e:
+        print(f"FAIL: cannot read {args.file}: {e}", file=sys.stderr)
+        return 1
+
+    if not lines:
+        fail(0, "empty file (no header line)")
+
+    def parse(lineno, line):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(lineno, f"not valid JSON: {e}")
+        if not isinstance(obj, dict):
+            fail(lineno, "line is not a JSON object")
+        return obj
+
+    header = parse(1, lines[0])
+    if header.get("schema") != "mqa-timeline-v1":
+        fail(1, f"header schema is {header.get('schema')!r}, "
+                f"want 'mqa-timeline-v1'")
+    unknown = set(header) - HEADER_KEYS
+    if unknown:
+        fail(1, f"unknown header keys: {sorted(unknown)}")
+    missing = HEADER_KEYS - set(header)
+    if missing:
+        fail(1, f"missing header keys: {sorted(missing)}")
+
+    prev_seq = None
+    prev_wall = None
+    prev_cpu = None
+    prev_hist_counts = {}
+    snapshots = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        snap = parse(lineno, line)
+        unknown = set(snap) - SNAPSHOT_KEYS
+        if unknown:
+            fail(lineno, f"unknown snapshot keys: {sorted(unknown)}")
+        missing = SNAPSHOT_KEYS - set(snap)
+        if missing:
+            fail(lineno, f"missing snapshot keys: {sorted(missing)}")
+
+        seq = snap["seq"]
+        if not isinstance(seq, int):
+            fail(lineno, f"seq is not an integer: {seq!r}")
+        if prev_seq is not None and seq != prev_seq + 1:
+            fail(lineno, f"seq jumped {prev_seq} -> {seq} (lines lost?)")
+        prev_seq = seq
+
+        if snap["trigger"] not in TRIGGERS:
+            fail(lineno, f"unknown trigger {snap['trigger']!r}")
+
+        wall = snap["wall_s"]
+        if not isinstance(wall, (int, float)):
+            fail(lineno, f"wall_s is not a number: {wall!r}")
+        if prev_wall is not None and wall < prev_wall:
+            fail(lineno, f"wall_s ran backwards: {prev_wall} -> {wall}")
+        prev_wall = wall
+
+        cpu = snap["cpu_s"]
+        if not isinstance(cpu, (int, float)):
+            fail(lineno, f"cpu_s is not a number: {cpu!r}")
+        if prev_cpu is not None and cpu < prev_cpu:
+            fail(lineno, f"cpu_s ran backwards: {prev_cpu} -> {cpu}")
+        prev_cpu = cpu
+
+        for field in ("rss_bytes", "peak_rss_bytes"):
+            v = snap[field]
+            if not isinstance(v, int) or v < 0:
+                fail(lineno, f"{field} is not a non-negative integer: {v!r}")
+
+        counters = snap["counters"]
+        if not isinstance(counters, dict):
+            fail(lineno, "counters is not an object")
+        for name, delta in counters.items():
+            if not isinstance(delta, int):
+                fail(lineno, f"counter {name}: delta {delta!r} is not an "
+                             f"integer")
+            if delta < 0:
+                fail(lineno, f"counter {name}: negative delta {delta} "
+                             f"(counter ran backwards)")
+
+        gauges = snap["gauges"]
+        if not isinstance(gauges, dict):
+            fail(lineno, "gauges is not an object")
+        for name, v in gauges.items():
+            if v is not None and not isinstance(v, (int, float)):
+                fail(lineno, f"gauge {name}: {v!r} is not a number")
+
+        hist = snap["hist"]
+        if not isinstance(hist, dict):
+            fail(lineno, "hist is not an object")
+        for name, h in hist.items():
+            if not isinstance(h, dict) or set(h) != HIST_KEYS:
+                fail(lineno, f"hist {name}: keys {sorted(h)} != "
+                             f"{sorted(HIST_KEYS)}")
+            count = h["count"]
+            if not isinstance(count, int) or count < 0:
+                fail(lineno, f"hist {name}: bad count {count!r}")
+            if count < prev_hist_counts.get(name, 0):
+                fail(lineno, f"hist {name}: cumulative count shrank "
+                             f"{prev_hist_counts[name]} -> {count}")
+            prev_hist_counts[name] = count
+            quantiles = [h["p50"], h["p90"], h["p99"], h["max"]]
+            if any(q is None for q in quantiles):
+                continue  # empty histogram serializes 0s; null is NaN
+            if not (quantiles[0] <= quantiles[1] <= quantiles[2]
+                    <= quantiles[3] + 1e-12):
+                fail(lineno, f"hist {name}: quantiles out of order "
+                             f"{quantiles}")
+        snapshots += 1
+
+    if snapshots < args.min_snapshots:
+        print(f"FAIL: {snapshots} snapshot(s), want at least "
+              f"{args.min_snapshots}", file=sys.stderr)
+        return 1
+
+    print(f"ok: {args.file}: header + {snapshots} snapshot(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

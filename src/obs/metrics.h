@@ -131,6 +131,15 @@ class MetricsRegistry {
       const std::function<void(const std::string&, const Histogram&)>& fn)
       const;
 
+  /// Counter/gauge analogues of VisitHistograms, in sorted name order —
+  /// the timeline recorder and the stats server's exposition endpoint
+  /// walk the live registry through these. Same rule: `fn` must not call
+  /// back into the registry.
+  void VisitCounters(
+      const std::function<void(const std::string&, int64_t)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, double)>& fn) const;
+
   /// JSON object: {"counters": {name: value, ...}, "gauges": {...},
   /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99},
   /// ...}}. Keys sorted (std::map) — deterministic given the same values.

@@ -1,0 +1,49 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace mqa {
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long size_pages = 0;
+    long long resident_pages = 0;
+    if (std::fscanf(f, "%lld %lld", &size_pages, &resident_pages) == 2) {
+      stats.rss_bytes = static_cast<int64_t>(resident_pages) *
+                        static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+    }
+    std::fclose(f);
+  }
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    stats.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss);
+#else
+    stats.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#endif
+    stats.cpu_user_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    stats.cpu_system_seconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+#endif
+
+  return stats;
+}
+
+}  // namespace mqa

@@ -1,0 +1,89 @@
+#ifndef MQA_OBS_ROLLING_WINDOW_H_
+#define MQA_OBS_ROLLING_WINDOW_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mqa {
+
+/// Incremental nearest-rank quantiles over a sliding window of the last
+/// `capacity` samples.
+///
+/// The end-of-run StreamSummary percentiles copy and sort the *full*
+/// sample vector — fine once per run, wrong on every snapshot: a live
+/// telemetry cadence would turn an O(n log n) sort of an unbounded
+/// vector into per-epoch work. This class bounds both sides: Push
+/// evicts the oldest sample and maintains a sorted view incrementally
+/// (one binary search + one bounded memmove, O(W) worst case with W
+/// fixed at construction), and Quantile is a single index into that
+/// view. SloMonitor and the streaming engine's windowed p99 gauges are
+/// the consumers.
+///
+/// Not thread-safe; each owner confines one instance to its own thread
+/// (the epoch loop), and only derived scalars (the current quantile)
+/// cross threads, via gauges.
+class RollingQuantileWindow {
+ public:
+  explicit RollingQuantileWindow(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+    sorted_.reserve(capacity_);
+  }
+
+  /// Inserts `v`, evicting the oldest sample once the window is full.
+  void Push(double v) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(v);
+      sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), v), v);
+    } else {
+      const double evicted = ring_[next_];
+      ring_[next_] = v;
+      // Erase one instance of the evicted value, insert the new one;
+      // both positions come from binary searches over the sorted view.
+      sorted_.erase(
+          std::lower_bound(sorted_.begin(), sorted_.end(), evicted));
+      sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), v), v);
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_pushed_;
+  }
+
+  /// Nearest-rank quantile of the current window contents, q in [0, 1]
+  /// (0 when empty) — the same rank rule as stream_metrics Percentile,
+  /// so a window covering the whole run reproduces the end-of-run value.
+  double Quantile(double q) const {
+    if (sorted_.empty()) return 0.0;
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const size_t rank = static_cast<size_t>(
+        std::ceil(clamped * static_cast<double>(sorted_.size())));
+    return sorted_[rank == 0 ? 0 : rank - 1];
+  }
+
+  double Max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  double Min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t total_pushed() const { return total_pushed_; }
+
+  void Clear() {
+    ring_.clear();
+    sorted_.clear();
+    next_ = 0;
+    total_pushed_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<double> ring_;    // insertion order (eviction cursor next_)
+  std::vector<double> sorted_;  // same multiset, kept sorted
+  size_t next_ = 0;
+  int64_t total_pushed_ = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_OBS_ROLLING_WINDOW_H_

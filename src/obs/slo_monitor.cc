@@ -1,0 +1,159 @@
+#include "obs/slo_monitor.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+
+namespace mqa {
+
+SloMonitor& SloMonitor::Get() {
+  static SloMonitor* monitor = new SloMonitor();  // leaked
+  return *monitor;
+}
+
+void SloMonitor::Configure(const SloConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  if (config_.window_epochs < 1) config_.window_epochs = 1;
+  active_ = config_.p99_latency_seconds > 0.0 ||
+            config_.epoch_deadline_seconds > 0.0 || config_.max_backlog > 0.0;
+  latency_window_ =
+      RollingQuantileWindow(static_cast<size_t>(config_.window_epochs));
+  overrun_window_.clear();
+  overruns_in_window_ = 0;
+  last_backlog_ = 0.0;
+  latency_breach_ = BreachState{};
+  overrun_breach_ = BreachState{};
+  backlog_breach_ = BreachState{};
+  breach_count_ = 0;
+}
+
+void SloMonitor::Disable() {
+  SloConfig off;
+  Configure(off);
+}
+
+bool SloMonitor::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void SloMonitor::OnEpochLatency(int64_t epoch_index, double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) return;
+
+  latency_window_.Push(latency_seconds);
+  const bool overran = config_.epoch_deadline_seconds > 0.0 &&
+                       latency_seconds > config_.epoch_deadline_seconds;
+  overrun_window_.push_back(overran);
+  if (overran) ++overruns_in_window_;
+  while (overrun_window_.size() >
+         static_cast<size_t>(config_.window_epochs)) {
+    if (overrun_window_.front()) --overruns_in_window_;
+    overrun_window_.pop_front();
+  }
+
+  const double p99 = latency_window_.Quantile(0.99);
+  const double overrun_ratio =
+      overrun_window_.empty()
+          ? 0.0
+          : static_cast<double>(overruns_in_window_) /
+                static_cast<double>(overrun_window_.size());
+
+  if (config_.p99_latency_seconds > 0.0) {
+    Evaluate(&latency_breach_, p99 > config_.p99_latency_seconds,
+             "p99_latency", p99, config_.p99_latency_seconds, epoch_index);
+  }
+  if (config_.epoch_deadline_seconds > 0.0) {
+    Evaluate(&overrun_breach_, overrun_ratio > config_.max_overrun_ratio,
+             "overrun_ratio", overrun_ratio, config_.max_overrun_ratio,
+             epoch_index);
+  }
+  ExportGauges();
+}
+
+void SloMonitor::OnBacklog(int64_t epoch_index, double backlog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) return;
+  last_backlog_ = backlog;
+  if (config_.max_backlog > 0.0) {
+    Evaluate(&backlog_breach_, backlog > config_.max_backlog, "backlog",
+             backlog, config_.max_backlog, epoch_index);
+  }
+  ExportGauges();
+}
+
+void SloMonitor::Evaluate(BreachState* state, bool breached,
+                          const char* objective, double value, double target,
+                          int64_t epoch_index) {
+  if (breached && !state->in_breach) {
+    state->in_breach = true;
+    state->started_epoch = epoch_index;
+    ++breach_count_;
+    // Breach starts are rare by definition — a direct registry lookup
+    // beats threading per-objective literal names through the macros.
+    MetricsRegistry::Get()
+        .counter(std::string("mqa.slo.breach.") + objective)
+        ->Increment();
+    std::ostringstream reason;
+    reason << "slo: " << objective << " breach start at epoch "
+           << epoch_index << " (value " << value << ", target " << target
+           << ")";
+    MQA_LOG(Warning) << reason.str();
+    Watchdog::Get().RecordExternalDump(reason.str());
+  } else if (!breached && state->in_breach) {
+    state->in_breach = false;
+    MQA_LOG(Warning) << "slo: " << objective << " breach end at epoch "
+                     << epoch_index << " (started epoch "
+                     << state->started_epoch << ", value " << value
+                     << ", target " << target << ")";
+    state->started_epoch = -1;
+  }
+}
+
+void SloMonitor::ExportGauges() {
+  MQA_METRIC_GAUGE_SET("mqa.slo.window.p99_latency_seconds",
+                       latency_window_.Quantile(0.99));
+  MQA_METRIC_GAUGE_SET(
+      "mqa.slo.window.overrun_ratio",
+      overrun_window_.empty()
+          ? 0.0
+          : static_cast<double>(overruns_in_window_) /
+                static_cast<double>(overrun_window_.size()));
+  MQA_METRIC_GAUGE_SET("mqa.slo.backlog", last_backlog_);
+  const int active_breaches = (latency_breach_.in_breach ? 1 : 0) +
+                              (overrun_breach_.in_breach ? 1 : 0) +
+                              (backlog_breach_.in_breach ? 1 : 0);
+  MQA_METRIC_GAUGE_SET("mqa.slo.breaches_active",
+                       static_cast<double>(active_breaches));
+}
+
+double SloMonitor::WindowP99ForTesting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_window_.Quantile(0.99);
+}
+
+double SloMonitor::OverrunRatioForTesting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overrun_window_.empty()
+             ? 0.0
+             : static_cast<double>(overruns_in_window_) /
+                   static_cast<double>(overrun_window_.size());
+}
+
+int64_t SloMonitor::breach_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breach_count_;
+}
+
+int SloMonitor::breaches_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (latency_breach_.in_breach ? 1 : 0) +
+         (overrun_breach_.in_breach ? 1 : 0) +
+         (backlog_breach_.in_breach ? 1 : 0);
+}
+
+}  // namespace mqa

@@ -1,0 +1,117 @@
+#ifndef MQA_OBS_SLO_MONITOR_H_
+#define MQA_OBS_SLO_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "obs/rolling_window.h"
+
+namespace mqa {
+
+struct SloConfig {
+  /// Target for the rolling-window p99 of per-epoch assignment latency
+  /// (seconds). 0 disables the latency objective.
+  double p99_latency_seconds = 0.0;
+
+  /// Per-epoch deadline (seconds). Epochs slower than this count as
+  /// overruns; the objective is on the windowed overrun *ratio* below.
+  /// 0 disables the deadline objective.
+  double epoch_deadline_seconds = 0.0;
+
+  /// Breach when more than this fraction of the window's epochs overran
+  /// the deadline (a lone slow epoch is jitter; a run of them is an
+  /// incident).
+  double max_overrun_ratio = 0.1;
+
+  /// Target for the task backlog depth (streaming runs). 0 disables the
+  /// backlog objective.
+  double max_backlog = 0.0;
+
+  /// Rolling window length, in epochs, for all objectives.
+  int64_t window_epochs = 64;
+};
+
+/// Rolling SLO evaluation over the epoch loop: windowed p99 assignment
+/// latency, epoch-deadline overrun ratio, and backlog depth, each
+/// against a configurable target.
+///
+/// Each objective is a breach state machine: crossing its target flips
+/// it into breach (logged once, counted into mqa.slo.breach.*, and the
+/// in-flight span stacks are captured into the watchdog's flight
+/// recorder — the telemetry you want from exactly that moment); dropping
+/// back under the target logs breach end. The current windowed values
+/// are exported every epoch as mqa.slo.* gauges, so the timeline and the
+/// stats endpoint carry the SLO view with no extra plumbing.
+///
+/// Observation only, like the rest of src/obs: the monitor never touches
+/// the computation, so a monitored run stays byte-identical to a bare
+/// one (tests/obs_property_test.cc).
+///
+/// The epoch hooks are called from the (single) epoch loop thread; the
+/// internal mutex only orders them against Configure/accessors.
+class SloMonitor {
+ public:
+  static SloMonitor& Get();
+
+  /// Installs `config` and clears all rolling state. The monitor is
+  /// active when any objective's target is non-zero.
+  void Configure(const SloConfig& config);
+
+  /// Deactivates and clears (tests, end of run).
+  void Disable();
+
+  bool active() const;
+
+  /// Feed one finished epoch's assignment latency (EpochRunner calls
+  /// this with the epoch's wall seconds). Evaluates the latency and
+  /// deadline objectives.
+  void OnEpochLatency(int64_t epoch_index, double latency_seconds);
+
+  /// Feed the post-epoch backlog depth (streaming engine). Evaluates the
+  /// backlog objective.
+  void OnBacklog(int64_t epoch_index, double backlog);
+
+  /// Current windowed values (tests).
+  double WindowP99ForTesting() const;
+  double OverrunRatioForTesting() const;
+
+  /// Total breach-start events across objectives since Configure.
+  int64_t breach_count() const;
+
+  /// Number of objectives currently in breach.
+  int breaches_active() const;
+
+ private:
+  SloMonitor() = default;
+  ~SloMonitor() = delete;  // intentionally leaked, like the Tracer
+
+  // One objective's latch. Returns true on a state flip (start or end).
+  struct BreachState {
+    bool in_breach = false;
+    int64_t started_epoch = -1;
+  };
+
+  // Evaluates one objective: handles the latch, logging, counters and
+  // the flight-recorder capture. Caller holds mu_.
+  void Evaluate(BreachState* state, bool breached, const char* objective,
+                double value, double target, int64_t epoch_index);
+
+  void ExportGauges();  // caller holds mu_
+
+  mutable std::mutex mu_;
+  SloConfig config_;
+  bool active_ = false;
+  RollingQuantileWindow latency_window_{64};
+  std::deque<bool> overrun_window_;  // parallel flags, same span
+  int64_t overruns_in_window_ = 0;
+  double last_backlog_ = 0.0;
+  BreachState latency_breach_;
+  BreachState overrun_breach_;
+  BreachState backlog_breach_;
+  int64_t breach_count_ = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_OBS_SLO_MONITOR_H_

@@ -1,0 +1,261 @@
+#include "obs/stats_server.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define MQA_STATS_SERVER_SUPPORTED 1
+#endif
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace mqa {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dot-separated names
+/// map '.' (and anything else exotic) to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendValue(std::ostringstream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+}  // namespace
+
+StatsServer& StatsServer::Get() {
+  static StatsServer* server = new StatsServer();  // leaked
+  return *server;
+}
+
+std::string StatsServer::MetricsExposition() {
+  std::ostringstream out;
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.VisitCounters([&](const std::string& name, int64_t value) {
+    const std::string sanitized = SanitizeMetricName(name);
+    out << "# TYPE " << sanitized << " counter\n";
+    out << sanitized << " " << value << "\n";
+  });
+  registry.VisitGauges([&](const std::string& name, double value) {
+    const std::string sanitized = SanitizeMetricName(name);
+    out << "# TYPE " << sanitized << " gauge\n";
+    out << sanitized << " ";
+    AppendValue(out, value);
+    out << "\n";
+  });
+  registry.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    const std::string sanitized = SanitizeMetricName(name);
+    out << "# TYPE " << sanitized << " summary\n";
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}};
+    for (const auto& quantile : kQuantiles) {
+      out << sanitized << "{quantile=\"" << quantile.label << "\"} ";
+      AppendValue(out, h.Quantile(quantile.q));
+      out << "\n";
+    }
+    out << sanitized << "_sum ";
+    AppendValue(out, h.sum());
+    out << "\n" << sanitized << "_count " << h.count() << "\n";
+  });
+  return out.str();
+}
+
+#if defined(MQA_STATS_SERVER_SUPPORTED)
+
+Status StatsServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (active_.load(std::memory_order_relaxed)) return Status::OK();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("stats server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("stats server: cannot bind 127.0.0.1:" +
+                            std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("stats server: listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::Internal("stats server: getsockname() failed");
+  }
+
+  listen_fd_ = fd;
+  port_.store(static_cast<int>(ntohs(addr.sin_port)),
+              std::memory_order_relaxed);
+  request_count_.store(0, std::memory_order_relaxed);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+
+  // The listening line is the CI handshake: smoke jobs background the
+  // run with --stats-port=0 and scrape this exact prefix for the port.
+  MQA_LOG(Info) << "stats server listening on 127.0.0.1:" << port_.load();
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(0, std::memory_order_relaxed);
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void StatsServer::Serve() {
+  // poll() with a timeout rather than a blocking accept: Stop() flips
+  // stop_requested_ and the loop notices within one interval — no
+  // close-the-fd-under-accept races.
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  char buf[2048];
+  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+
+  // Request line: METHOD SP PATH SP VERSION. Only GET is meaningful.
+  std::string method;
+  std::string target;
+  {
+    std::istringstream request(buf);
+    request >> method >> target;
+  }
+  request_count_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string path = target;
+  std::string query;
+  const size_t question = target.find('?');
+  if (question != std::string::npos) {
+    path = target.substr(0, question);
+    query = target.substr(question + 1);
+  }
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  const char* status_line = "200 OK";
+  if (method != "GET") {
+    status_line = "405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/metrics" || path == "/") {
+    body = MetricsExposition();
+  } else if (path == "/timeline") {
+    size_t max_lines = 0;  // 0 = full ring
+    if (query.rfind("n=", 0) == 0) {
+      const long parsed = std::strtol(query.c_str() + 2, nullptr, 10);
+      if (parsed > 0) max_lines = static_cast<size_t>(parsed);
+    }
+    TimelineRecorder& timeline = TimelineRecorder::Get();
+    std::ostringstream out;
+    out << timeline.HeaderLine() << "\n";
+    for (const std::string& line : timeline.TailJsonl(max_lines)) {
+      out << line << "\n";
+    }
+    body = out.str();
+    content_type = "application/x-ndjson";
+  } else {
+    status_line = "404 Not Found";
+    body = "not found\n";
+  }
+
+  std::ostringstream response;
+  response << "HTTP/1.0 " << status_line << "\r\n"
+           << "Content-Type: " << content_type << "\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  const std::string serialized = response.str();
+  size_t sent = 0;
+  while (sent < serialized.size()) {
+    const ssize_t wrote =
+        ::send(fd, serialized.data() + sent, serialized.size() - sent, 0);
+    if (wrote <= 0) break;
+    sent += static_cast<size_t>(wrote);
+  }
+}
+
+#else  // !MQA_STATS_SERVER_SUPPORTED
+
+Status StatsServer::Start(int /*port*/) {
+  return Status::Internal("stats server: unsupported on this platform");
+}
+void StatsServer::Stop() {}
+void StatsServer::Serve() {}
+void StatsServer::HandleConnection(int /*fd*/) {}
+
+#endif  // MQA_STATS_SERVER_SUPPORTED
+
+void StatsServer::InitFromEnv() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* value = std::getenv("MQA_STATS_PORT");
+  if (value == nullptr || value[0] == '\0') return;
+  const int port = std::atoi(value);
+  if (port < 0 || port > 65535) {
+    MQA_LOG(Warning) << "MQA_STATS_PORT: invalid port '" << value << "'";
+    return;
+  }
+  const Status status = Get().Start(port);
+  if (!status.ok()) {
+    MQA_LOG(Warning) << "MQA_STATS_PORT: " << status.ToString();
+    return;
+  }
+  std::atexit([] { StatsServer::Get().Stop(); });
+}
+
+}  // namespace mqa

@@ -1,0 +1,85 @@
+#ifndef MQA_OBS_STATS_SERVER_H_
+#define MQA_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace mqa {
+
+/// Tiny dependency-free live-stats endpoint: an HTTP/1.0, one request per
+/// connection responder bound to a loopback socket, serving
+///
+///   /metrics   Prometheus-style text exposition of the live
+///              MetricsRegistry (counters, gauges, histogram summaries)
+///   /timeline  the newest TimelineRecorder ring contents as
+///              `mqa-timeline-v1` JSONL (header line first;
+///              ?n=N limits to the last N snapshots)
+///   /healthz   "ok\n" — liveness probe
+///
+/// anything else is a 404. `curl localhost:PORT/metrics` mid-run, or
+/// point `scripts/mqa_top.py --url` at it for a live dashboard.
+///
+/// Loopback only by design: this is a run inspector, not a service —
+/// binding 127.0.0.1 keeps an instrumented bench from becoming a network
+/// listener. Port 0 asks the kernel for a free port (tests, CI); the
+/// bound port is logged at startup and readable via port().
+///
+/// Write-only like the rest of src/obs: request handling reads registry
+/// snapshots on a background thread and never feeds anything back into
+/// the computation, so a served run stays byte-identical to a bare one
+/// (tests/obs_property_test.cc).
+class StatsServer {
+ public:
+  static StatsServer& Get();
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned), starts the serve
+  /// thread. Fails when the port is taken. Idempotent while running.
+  Status Start(int port);
+
+  /// Stops the serve thread and closes the socket. Safe when not started.
+  void Stop();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// The bound port (0 when not running) — differs from the requested
+  /// port when 0 was requested.
+  int port() const { return port_.load(std::memory_order_relaxed); }
+
+  /// Number of requests served since Start (tests).
+  int64_t request_count() const {
+    return request_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The /metrics response body — Prometheus text exposition, metric
+  /// names sanitized ('.' -> '_'). Exposed for tests and reuse.
+  static std::string MetricsExposition();
+
+  /// If MQA_STATS_PORT is set, starts the server on that port (0 works)
+  /// and registers an atexit stop — the zero-plumbing surface for
+  /// benches. Idempotent.
+  static void InitFromEnv();
+
+ private:
+  StatsServer() = default;
+  ~StatsServer() = delete;  // intentionally leaked, like the Tracer
+
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::atomic<bool> active_{false};
+  std::atomic<int> port_{0};
+  std::atomic<int64_t> request_count_{0};
+  int listen_fd_ = -1;  // owned by the serve lifetime (Start..Stop)
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
+};
+
+}  // namespace mqa
+
+#endif  // MQA_OBS_STATS_SERVER_H_

@@ -1,0 +1,295 @@
+#include "obs/timeline.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/trace.h"
+
+namespace mqa {
+
+namespace {
+
+void AppendJsonKey(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void AppendDouble(std::ostringstream& out, double v) {
+  if (std::isnan(v)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+}  // namespace
+
+TimelineRecorder& TimelineRecorder::Get() {
+  static TimelineRecorder* recorder = new TimelineRecorder();  // leaked
+  return *recorder;
+}
+
+Status TimelineRecorder::Start(const TimelineConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.load(std::memory_order_relaxed)) return Status::OK();
+  config_ = config;
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  if (!config_.sink_path.empty()) {
+    sink_ = std::fopen(config_.sink_path.c_str(), "w");
+    if (sink_ == nullptr) {
+      return Status::Internal("cannot open timeline sink: " +
+                              config_.sink_path);
+    }
+    const std::string header = HeaderLine();
+    std::fputs(header.c_str(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+  seq_ = 0;
+  last_epoch_ = -1;
+  epochs_since_snapshot_ = 0;
+  sim_time_ = -1.0;
+  last_snapshot_sim_time_ = 0.0;
+  prev_counters_.clear();
+  ring_.clear();
+  snapshot_count_.store(0, std::memory_order_relaxed);
+  evicted_count_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+
+  if (config_.every_wall_seconds > 0.0) {
+    {
+      std::lock_guard<std::mutex> poll_lock(poll_mu_);
+      stop_requested_ = false;
+    }
+    const auto interval = std::chrono::duration<double>(
+        config_.every_wall_seconds);
+    thread_ = std::thread([this, interval] {
+      std::unique_lock<std::mutex> poll_lock(poll_mu_);
+      while (!stop_requested_) {
+        if (poll_cv_.wait_for(poll_lock, interval,
+                              [this] { return stop_requested_; })) {
+          break;
+        }
+        poll_lock.unlock();
+        SnapshotNow("wall");
+        poll_lock.lock();
+      }
+    });
+  }
+  return Status::OK();
+}
+
+void TimelineRecorder::Stop() {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> poll_lock(poll_mu_);
+      stop_requested_ = true;
+    }
+    poll_cv_.notify_all();
+    thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SnapshotLocked("final");
+  active_.store(false, std::memory_order_relaxed);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+void TimelineRecorder::OnEpoch(int64_t epoch_index) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  last_epoch_ = epoch_index;
+  ++epochs_since_snapshot_;
+  if (config_.every_epochs > 0 &&
+      epochs_since_snapshot_ >= config_.every_epochs) {
+    SnapshotLocked("epoch");
+    return;
+  }
+  if (config_.every_sim_seconds > 0.0 && sim_time_ >= 0.0 &&
+      sim_time_ - last_snapshot_sim_time_ >= config_.every_sim_seconds) {
+    SnapshotLocked("sim");
+  }
+}
+
+void TimelineRecorder::NoteSimTime(double sim_time) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sim_time > sim_time_) sim_time_ = sim_time;
+}
+
+void TimelineRecorder::SnapshotNow(const char* trigger) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  SnapshotLocked(trigger);
+}
+
+void TimelineRecorder::SnapshotLocked(const char* trigger) {
+  const int64_t now_ns = Tracer::Get().NowNs();
+  const ProcessStats process = ReadProcessStats();
+
+  std::ostringstream out;
+  out << "{\"seq\":" << seq_ << ",\"trigger\":\"" << trigger << "\"";
+  out << ",\"wall_s\":";
+  AppendDouble(out, static_cast<double>(now_ns) * 1e-9);
+  out << ",\"epoch\":" << last_epoch_;
+  out << ",\"sim_time\":";
+  AppendDouble(out, sim_time_);
+  out << ",\"rss_bytes\":" << process.rss_bytes;
+  out << ",\"peak_rss_bytes\":" << process.peak_rss_bytes;
+  out << ",\"cpu_s\":";
+  AppendDouble(out, process.cpu_seconds());
+
+  // Counters as deltas since the previous snapshot: the timeline is a
+  // rate series, not a cumulative re-dump (the registry export already
+  // covers cumulative).
+  out << ",\"counters\":{";
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  bool first = true;
+  registry.VisitCounters([&](const std::string& name, int64_t value) {
+    auto& prev = prev_counters_[name];  // new names start from 0
+    const int64_t delta = value - prev;
+    prev = value;
+    if (!first) out << ',';
+    first = false;
+    AppendJsonKey(out, name);
+    out << ':' << delta;
+  });
+
+  out << "},\"gauges\":{";
+  first = true;
+  registry.VisitGauges([&](const std::string& name, double value) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonKey(out, name);
+    out << ':';
+    AppendDouble(out, value);
+  });
+
+  // Histograms stay cumulative (count monotone); the quantiles are the
+  // distribution-so-far. Windowed quantiles come from the dedicated
+  // mqa.*.window.* gauges instead.
+  out << "},\"hist\":{";
+  first = true;
+  registry.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonKey(out, name);
+    out << ":{\"count\":" << h.count() << ",\"p50\":";
+    AppendDouble(out, h.Quantile(0.50));
+    out << ",\"p90\":";
+    AppendDouble(out, h.Quantile(0.90));
+    out << ",\"p99\":";
+    AppendDouble(out, h.Quantile(0.99));
+    out << ",\"max\":";
+    AppendDouble(out, h.max());
+    out << '}';
+  });
+  out << "}}";
+
+  ++seq_;
+  epochs_since_snapshot_ = 0;
+  if (sim_time_ >= 0.0) last_snapshot_sim_time_ = sim_time_;
+  snapshot_count_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string line = out.str();
+  if (sink_ != nullptr) {
+    std::fputs(line.c_str(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+  ring_.push_back(std::move(line));
+  while (ring_.size() > config_.ring_capacity) {
+    ring_.pop_front();
+    evicted_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string TimelineRecorder::HeaderLine() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"mqa-timeline-v1\"";
+  out << ",\"every_epochs\":" << config_.every_epochs;
+  out << ",\"every_sim_seconds\":";
+  AppendDouble(out, config_.every_sim_seconds);
+  out << ",\"every_wall_seconds\":";
+  AppendDouble(out, config_.every_wall_seconds);
+  out << ",\"ring_capacity\":" << config_.ring_capacity << "}";
+  return out.str();
+}
+
+std::vector<std::string> TimelineRecorder::TailJsonl(size_t max_lines) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = ring_.size();
+  const size_t take = (max_lines == 0 || max_lines > n) ? n : max_lines;
+  std::vector<std::string> lines;
+  lines.reserve(take);
+  for (size_t i = n - take; i < n; ++i) lines.push_back(ring_[i]);
+  return lines;
+}
+
+Status TimelineRecorder::WriteJsonlFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open timeline file: " + path);
+  }
+  const std::string header = HeaderLine();
+  std::fputs(header.c_str(), f);
+  std::fputc('\n', f);
+  for (const std::string& line : ring_) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+  }
+  std::fflush(f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return Status::Internal("error writing timeline file: " + path);
+  return Status::OK();
+}
+
+void TimelineRecorder::InitFromEnv() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* path = std::getenv("MQA_TIMELINE");
+  if (path == nullptr || path[0] == '\0') return;
+  TimelineConfig config;
+  config.sink_path = path;
+  const Status status = Get().Start(config);
+  if (!status.ok()) {
+    MQA_LOG(Warning) << "MQA_TIMELINE: " << status.ToString();
+    return;
+  }
+  std::atexit([] { TimelineRecorder::Get().Stop(); });
+}
+
+void TimelineRecorder::ResetForTesting() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  prev_counters_.clear();
+  seq_ = 0;
+  last_epoch_ = -1;
+  epochs_since_snapshot_ = 0;
+  sim_time_ = -1.0;
+  last_snapshot_sim_time_ = 0.0;
+  snapshot_count_.store(0, std::memory_order_relaxed);
+  evicted_count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mqa

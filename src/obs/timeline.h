@@ -1,0 +1,144 @@
+#ifndef MQA_OBS_TIMELINE_H_
+#define MQA_OBS_TIMELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mqa {
+
+struct TimelineConfig {
+  /// Snapshot every N finished epochs (0 disables the epoch cadence).
+  int64_t every_epochs = 1;
+
+  /// Additionally snapshot whenever simulated time (NoteSimTime) has
+  /// advanced by this much since the last snapshot (0 disables; only the
+  /// streaming engine feeds a sim clock).
+  double every_sim_seconds = 0.0;
+
+  /// Wall-clock cadence from a background thread (0 disables the
+  /// thread). Epoch- and sim-driven snapshots need no thread at all —
+  /// the wall cadence exists for runs whose epochs stall (exactly when
+  /// you want telemetry most).
+  double every_wall_seconds = 0.0;
+
+  /// Bounded in-memory history: the ring keeps the newest `ring_capacity`
+  /// snapshots, evicting the oldest. The stats server's /timeline tail
+  /// and a buffer-only WriteJsonlFile read from here.
+  size_t ring_capacity = 4096;
+
+  /// When non-empty, every snapshot is appended (and flushed) to this
+  /// file as it is taken, so the artifact grows live and `mqa_top.py
+  /// --file` can follow it. The ring stays bounded regardless.
+  std::string sink_path;
+};
+
+/// Windowed time-series telemetry: snapshots the metrics registry
+/// (counter deltas since the previous snapshot, gauge values, histogram
+/// quantiles) plus process stats (RSS, CPU time) on a configurable
+/// cadence, into a bounded ring buffer and optionally a growing
+/// `mqa-timeline-v1` JSONL artifact.
+///
+/// Line format (one JSON object per line; first line is the schema
+/// header): see docs/OBSERVABILITY.md "Live telemetry". Timestamps come
+/// from the Tracer clock, so tests drive cadence deterministically via
+/// Tracer::SetClockForTesting.
+///
+/// Write-only like the rest of src/obs: the recorder reads the registry
+/// and the process, never the computation — a recorded run is
+/// byte-identical to a bare one (tests/obs_property_test.cc).
+class TimelineRecorder {
+ public:
+  static TimelineRecorder& Get();
+
+  /// Opens the sink (when configured), writes the schema header, starts
+  /// the wall-cadence thread (when configured). Fails on an unwritable
+  /// sink path. Idempotent while active.
+  Status Start(const TimelineConfig& config);
+
+  /// Takes one final snapshot ("final" trigger), stops the thread and
+  /// closes the sink. Safe when not started.
+  void Stop();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Epoch hook (EpochRunner calls this after every finished epoch).
+  /// Cheap no-op when inactive; snapshots when the epoch or sim-time
+  /// cadence is due.
+  void OnEpoch(int64_t epoch_index);
+
+  /// Advances the recorder's view of simulated time (streaming engine).
+  /// Never snapshots by itself — the sim cadence is evaluated at epoch
+  /// boundaries, keeping the trigger deterministic.
+  void NoteSimTime(double sim_time);
+
+  /// Takes one snapshot immediately, tagged with `trigger`.
+  void SnapshotNow(const char* trigger);
+
+  /// The schema header line (also the first line of every artifact).
+  std::string HeaderLine() const;
+
+  /// The newest `max_lines` snapshot lines, oldest first (the /timeline
+  /// endpoint; 0 = everything in the ring).
+  std::vector<std::string> TailJsonl(size_t max_lines) const;
+
+  /// Header + full ring contents to `path` (buffer-only runs; a live
+  /// sink already has everything, and more — the ring may have evicted).
+  Status WriteJsonlFile(const std::string& path) const;
+
+  int64_t snapshot_count() const {
+    return snapshot_count_.load(std::memory_order_relaxed);
+  }
+  int64_t evicted_count() const {
+    return evicted_count_.load(std::memory_order_relaxed);
+  }
+
+  /// If MQA_TIMELINE names a file, starts the recorder with default
+  /// cadence (every epoch) and that sink, and registers an atexit stop —
+  /// the zero-plumbing surface for benches. Idempotent.
+  static void InitFromEnv();
+
+  /// Stops, clears the ring and all cadence state (tests).
+  void ResetForTesting();
+
+ private:
+  TimelineRecorder() = default;
+  ~TimelineRecorder() = delete;  // intentionally leaked, like the Tracer
+
+  // Serializes one snapshot line and appends it to the ring + sink.
+  // Caller holds mu_.
+  void SnapshotLocked(const char* trigger);
+
+  std::atomic<bool> active_{false};
+  std::atomic<int64_t> snapshot_count_{0};
+  std::atomic<int64_t> evicted_count_{0};
+
+  mutable std::mutex mu_;
+  TimelineConfig config_;           // guarded by mu_ after Start
+  std::deque<std::string> ring_;    // newest at back; bounded
+  std::map<std::string, int64_t> prev_counters_;  // last snapshot's values
+  int64_t seq_ = 0;
+  int64_t last_epoch_ = -1;
+  int64_t epochs_since_snapshot_ = 0;
+  double sim_time_ = -1.0;
+  double last_snapshot_sim_time_ = 0.0;
+  std::FILE* sink_ = nullptr;
+
+  std::thread thread_;
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  bool stop_requested_ = false;  // guarded by poll_mu_
+};
+
+}  // namespace mqa
+
+#endif  // MQA_OBS_TIMELINE_H_

@@ -9,6 +9,11 @@
 // (perf counters enabled — live where the kernel allows, and in the
 // forced-unavailable fallback everywhere) must also be byte-identical
 // to an uncounted run.
+//
+// Live telemetry extends it once more: a run with the timeline recorder
+// snapshotting every epoch, the SLO monitor evaluating (and breaching)
+// targets, and the stats server answering requests must still be
+// byte-identical to a bare run.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +24,9 @@
 #include "core/assigner.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
+#include "obs/slo_monitor.h"
+#include "obs/stats_server.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
@@ -167,6 +175,9 @@ class ObsPropertyTest : public ::testing::TestWithParam<ObsCase> {
     PerfCounters::Get().Disable();
     PerfCounters::Get().ForceUnavailableForTesting(false);
     PerfCounters::Get().ResetForTesting();
+    TimelineRecorder::Get().ResetForTesting();
+    SloMonitor::Get().Disable();
+    StatsServer::Get().Stop();
   }
   void TearDown() override {
     Tracer::Get().Disable();
@@ -175,6 +186,34 @@ class ObsPropertyTest : public ::testing::TestWithParam<ObsCase> {
     PerfCounters::Get().Disable();
     PerfCounters::Get().ForceUnavailableForTesting(false);
     PerfCounters::Get().ResetForTesting();
+    TimelineRecorder::Get().ResetForTesting();
+    SloMonitor::Get().Disable();
+    StatsServer::Get().Stop();
+  }
+
+  /// Turns the full live-telemetry stack on: buffer-only timeline on an
+  /// every-epoch cadence, SLO targets tight enough to breach during the
+  /// run (breach handling must be write-only too), and the stats server
+  /// on a kernel-assigned loopback port.
+  static void StartLiveTelemetry() {
+    TimelineConfig timeline;
+    timeline.every_epochs = 1;
+    ASSERT_TRUE(TimelineRecorder::Get().Start(timeline).ok());
+    SloConfig slo;
+    slo.p99_latency_seconds = 1e-9;  // guaranteed latency breach
+    slo.epoch_deadline_seconds = 1e-9;
+    slo.max_backlog = 1.0;  // guaranteed backlog breach (stream)
+    slo.window_epochs = 4;
+    SloMonitor::Get().Configure(slo);
+    // Bind failure (exotic sandboxes) only skips the served dimension;
+    // the timeline + SLO dimensions still exercise the contract.
+    (void)StatsServer::Get().Start(0);
+  }
+
+  static void StopLiveTelemetry() {
+    StatsServer::Get().Stop();
+    SloMonitor::Get().Disable();
+    TimelineRecorder::Get().Stop();
   }
 };
 
@@ -238,6 +277,42 @@ TEST_P(ObsPropertyTest, CounterFallbackBatchRunIsByteIdentical) {
   Tracer::Get().Disable();
   EXPECT_TRUE(counted == uncounted)
       << "the counters-unavailable fallback changed batch results";
+}
+
+TEST_P(ObsPropertyTest, LiveTelemetryBatchRunIsByteIdentical) {
+  const ResultFingerprint bare = RunBatch(GetParam());
+  StartLiveTelemetry();
+  const ResultFingerprint observed = RunBatch(GetParam());
+#if !defined(MQA_OBS_DISABLED)
+  EXPECT_GT(TimelineRecorder::Get().snapshot_count(), 0)
+      << "the timeline recorder was not live";
+  EXPECT_GT(SloMonitor::Get().breach_count(), 0)
+      << "the SLO targets were meant to breach during the run";
+#endif
+  StopLiveTelemetry();
+  EXPECT_TRUE(observed == bare)
+      << "live telemetry changed batch results";
+}
+
+TEST_P(ObsPropertyTest, LiveTelemetryStreamRunIsByteIdentical) {
+  const ResultFingerprint bare = RunStream(GetParam());
+  StartLiveTelemetry();
+  const bool served = StatsServer::Get().active();
+  const ResultFingerprint observed = RunStream(GetParam());
+#if !defined(MQA_OBS_DISABLED)
+  EXPECT_GT(TimelineRecorder::Get().snapshot_count(), 0)
+      << "the timeline recorder was not live";
+  EXPECT_GT(SloMonitor::Get().breach_count(), 0)
+      << "the SLO targets were meant to breach during the run";
+  if (served) {
+    // The ring serves cleanly mid-run (the /timeline handler path).
+    EXPECT_FALSE(StatsServer::MetricsExposition().empty());
+    EXPECT_FALSE(TimelineRecorder::Get().TailJsonl(1).empty());
+  }
+#endif
+  StopLiveTelemetry();
+  EXPECT_TRUE(observed == bare)
+      << "live telemetry changed streaming results";
 }
 
 std::vector<ObsCase> MakeCases() {

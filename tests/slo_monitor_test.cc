@@ -1,0 +1,251 @@
+// Unit tests for src/obs/rolling_window.h and src/obs/slo_monitor.cc:
+// incremental window quantiles vs a sort-based oracle, eviction order,
+// and the SLO breach state machines (latch once per crossing, recover,
+// counters, gauges, flight-recorder capture).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/rolling_window.h"
+#include "obs/slo_monitor.h"
+#include "obs/watchdog.h"
+
+namespace mqa {
+namespace {
+
+// ---- RollingQuantileWindow --------------------------------------------------
+
+/// Nearest-rank quantile over a plain vector — the same rule as
+/// stream_metrics Percentile, used as the oracle.
+double OracleQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+TEST(RollingQuantileWindowTest, EmptyWindowReturnsZero) {
+  RollingQuantileWindow window(8);
+  EXPECT_EQ(window.Quantile(0.99), 0.0);
+  EXPECT_EQ(window.Max(), 0.0);
+  EXPECT_EQ(window.size(), 0u);
+}
+
+TEST(RollingQuantileWindowTest, PartialWindowMatchesOracle) {
+  RollingQuantileWindow window(10);
+  const std::vector<double> samples = {5.0, 1.0, 3.0};
+  for (double v : samples) window.Push(v);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(window.Quantile(q), OracleQuantile(samples, q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(window.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(window.Max(), 5.0);
+}
+
+TEST(RollingQuantileWindowTest, EvictsOldestBeyondCapacity) {
+  RollingQuantileWindow window(3);
+  for (double v : {10.0, 20.0, 30.0, 40.0}) window.Push(v);
+  // 10 evicted; window is {20, 30, 40}.
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.Min(), 20.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), 40.0);
+  EXPECT_EQ(window.total_pushed(), 4);
+}
+
+TEST(RollingQuantileWindowTest, HandlesDuplicateValuesOnEviction) {
+  RollingQuantileWindow window(2);
+  window.Push(7.0);
+  window.Push(7.0);
+  window.Push(7.0);  // evicts one 7, window still {7, 7}
+  window.Push(1.0);  // evicts another 7, window {7, 1}
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(window.Max(), 7.0);
+}
+
+TEST(RollingQuantileWindowTest, SlidingMatchesOracleOnRandomStream) {
+  constexpr size_t kCapacity = 16;
+  RollingQuantileWindow window(kCapacity);
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 500; ++i) {
+    const double v = dist(rng);
+    stream.push_back(v);
+    window.Push(v);
+    const size_t start =
+        stream.size() > kCapacity ? stream.size() - kCapacity : 0;
+    const std::vector<double> tail(stream.begin() + start, stream.end());
+    for (double q : {0.5, 0.9, 0.99}) {
+      ASSERT_DOUBLE_EQ(window.Quantile(q), OracleQuantile(tail, q))
+          << "at push " << i << ", q=" << q;
+    }
+  }
+}
+
+TEST(RollingQuantileWindowTest, ClearEmptiesTheWindow) {
+  RollingQuantileWindow window(4);
+  window.Push(1.0);
+  window.Push(2.0);
+  window.Clear();
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_EQ(window.total_pushed(), 0);
+  EXPECT_EQ(window.Quantile(0.5), 0.0);
+}
+
+// ---- SloMonitor -------------------------------------------------------------
+
+class SloMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Get().Reset();
+    SloMonitor::Get().Disable();
+  }
+  void TearDown() override {
+    SloMonitor::Get().Disable();
+    MetricsRegistry::Get().Reset();
+  }
+};
+
+TEST_F(SloMonitorTest, InactiveWithoutTargets) {
+  SloConfig config;  // all targets zero
+  SloMonitor::Get().Configure(config);
+  EXPECT_FALSE(SloMonitor::Get().active());
+  SloMonitor::Get().OnEpochLatency(0, 100.0);
+  SloMonitor::Get().OnBacklog(0, 1e9);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 0);
+}
+
+TEST_F(SloMonitorTest, LatencyBreachLatchesOncePerCrossing) {
+  SloConfig config;
+  config.p99_latency_seconds = 1.0;
+  config.window_epochs = 4;
+  SloMonitor::Get().Configure(config);
+  ASSERT_TRUE(SloMonitor::Get().active());
+
+  SloMonitor::Get().OnEpochLatency(0, 0.5);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 0);
+
+  // One slow epoch pushes the 4-epoch window p99 over the 1.0 target...
+  SloMonitor::Get().OnEpochLatency(1, 2.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+  EXPECT_EQ(SloMonitor::Get().breaches_active(), 1);
+  // ...and stays latched (no re-count) while the breach persists.
+  SloMonitor::Get().OnEpochLatency(2, 2.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+
+  // Four fast epochs push the slow ones out of the window: breach ends.
+  for (int64_t e = 3; e < 7; ++e) SloMonitor::Get().OnEpochLatency(e, 0.1);
+  EXPECT_EQ(SloMonitor::Get().breaches_active(), 0);
+
+  // A second crossing is a second incident.
+  SloMonitor::Get().OnEpochLatency(7, 5.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 2);
+}
+
+TEST_F(SloMonitorTest, BreachIncrementsPerObjectiveCounter) {
+  SloConfig config;
+  config.p99_latency_seconds = 1.0;
+  config.window_epochs = 4;
+  SloMonitor::Get().Configure(config);
+  SloMonitor::Get().OnEpochLatency(0, 3.0);
+  EXPECT_EQ(
+      MetricsRegistry::Get().counter("mqa.slo.breach.p99_latency")->value(),
+      1);
+}
+
+TEST_F(SloMonitorTest, OverrunRatioObjective) {
+  SloConfig config;
+  config.epoch_deadline_seconds = 1.0;
+  config.max_overrun_ratio = 0.5;
+  config.window_epochs = 4;
+  SloMonitor::Get().Configure(config);
+
+  // Warm the window with fast epochs so the ratio starts from a full
+  // denominator, then add 1 overrun of 4 -> 0.25, under the 0.5 target.
+  for (int64_t e = 0; e < 4; ++e) SloMonitor::Get().OnEpochLatency(e, 0.1);
+  SloMonitor::Get().OnEpochLatency(4, 2.0);
+  EXPECT_DOUBLE_EQ(SloMonitor::Get().OverrunRatioForTesting(), 0.25);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 0);
+
+  // Two more overruns -> 3 of 4 -> 0.75 > 0.5: breach.
+  SloMonitor::Get().OnEpochLatency(5, 2.0);
+  SloMonitor::Get().OnEpochLatency(6, 2.0);
+  EXPECT_GT(SloMonitor::Get().OverrunRatioForTesting(), 0.5);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+
+  // Window refills with fast epochs: ratio decays, breach ends.
+  for (int64_t e = 7; e < 11; ++e) SloMonitor::Get().OnEpochLatency(e, 0.1);
+  EXPECT_DOUBLE_EQ(SloMonitor::Get().OverrunRatioForTesting(), 0.0);
+  EXPECT_EQ(SloMonitor::Get().breaches_active(), 0);
+}
+
+TEST_F(SloMonitorTest, BacklogObjectiveIsIndependent) {
+  SloConfig config;
+  config.max_backlog = 100.0;
+  SloMonitor::Get().Configure(config);
+  ASSERT_TRUE(SloMonitor::Get().active());
+
+  SloMonitor::Get().OnBacklog(0, 50.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 0);
+  SloMonitor::Get().OnBacklog(1, 150.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+  EXPECT_EQ(
+      MetricsRegistry::Get().counter("mqa.slo.breach.backlog")->value(), 1);
+  SloMonitor::Get().OnBacklog(2, 80.0);
+  EXPECT_EQ(SloMonitor::Get().breaches_active(), 0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+}
+
+TEST_F(SloMonitorTest, ExportsWindowGauges) {
+  SloConfig config;
+  config.p99_latency_seconds = 10.0;
+  config.max_backlog = 1000.0;
+  config.window_epochs = 8;
+  SloMonitor::Get().Configure(config);
+  SloMonitor::Get().OnEpochLatency(0, 0.25);
+  SloMonitor::Get().OnBacklog(0, 42.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Get()
+                       .gauge("mqa.slo.window.p99_latency_seconds")
+                       ->value(),
+                   0.25);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Get().gauge("mqa.slo.backlog")->value(),
+                   42.0);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Get().gauge("mqa.slo.breaches_active")->value(), 0.0);
+}
+
+TEST_F(SloMonitorTest, BreachCapturesFlightRecorderDump) {
+  const int64_t fires_before = Watchdog::Get().fire_count();
+  SloConfig config;
+  config.max_backlog = 10.0;
+  SloMonitor::Get().Configure(config);
+  SloMonitor::Get().OnBacklog(3, 99.0);
+  EXPECT_EQ(Watchdog::Get().fire_count(), fires_before + 1);
+  const std::string dump = Watchdog::Get().last_dump_for_testing();
+  EXPECT_NE(dump.find("backlog breach start at epoch 3"), std::string::npos)
+      << dump;
+}
+
+TEST_F(SloMonitorTest, ConfigureResetsRollingState) {
+  SloConfig config;
+  config.p99_latency_seconds = 1.0;
+  SloMonitor::Get().Configure(config);
+  SloMonitor::Get().OnEpochLatency(0, 5.0);
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 1);
+  SloMonitor::Get().Configure(config);  // fresh run
+  EXPECT_EQ(SloMonitor::Get().breach_count(), 0);
+  EXPECT_EQ(SloMonitor::Get().breaches_active(), 0);
+  EXPECT_DOUBLE_EQ(SloMonitor::Get().WindowP99ForTesting(), 0.0);
+}
+
+}  // namespace
+}  // namespace mqa

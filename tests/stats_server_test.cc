@@ -1,0 +1,181 @@
+// Unit tests for src/obs/stats_server.cc: kernel-assigned port binding,
+// the three endpoints (/healthz, /metrics, /timeline) over a raw
+// loopback socket, 404/405 handling, the Prometheus exposition
+// formatting, and clean Start/Stop cycles.
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/timeline.h"
+
+namespace mqa {
+namespace {
+
+/// One HTTP/1.0 request over a fresh loopback connection; returns the
+/// full response (status line + headers + body).
+std::string Request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return Request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+class StatsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Get().Reset();
+    TimelineRecorder::Get().ResetForTesting();
+    ASSERT_TRUE(StatsServer::Get().Start(0).ok());
+    port_ = StatsServer::Get().port();
+    ASSERT_GT(port_, 0);
+  }
+  void TearDown() override {
+    StatsServer::Get().Stop();
+    TimelineRecorder::Get().ResetForTesting();
+    MetricsRegistry::Get().Reset();
+  }
+
+  int port_ = 0;
+};
+
+TEST_F(StatsServerTest, HealthzRespondsOk) {
+  const std::string response = Get(port_, "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos) << response;
+}
+
+TEST_F(StatsServerTest, MetricsServesExposition) {
+  MetricsRegistry::Get().counter("test.server.hits")->Add(41);
+  MetricsRegistry::Get().gauge("test.server.depth")->Set(2.5);
+  const std::string response = Get(port_, "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  // Dots sanitized to underscores, TYPE lines present.
+  EXPECT_NE(response.find("# TYPE test_server_hits counter"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("test_server_hits 41"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE test_server_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(response.find("test_server_depth 2.5"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, RootAliasesMetrics) {
+  MetricsRegistry::Get().counter("test.server.root")->Increment();
+  const std::string response = Get(port_, "/");
+  EXPECT_NE(response.find("test_server_root 1"), std::string::npos)
+      << response;
+}
+
+TEST_F(StatsServerTest, HistogramExposesSummaryQuantiles) {
+  Histogram* h = MetricsRegistry::Get().histogram("test.server.lat");
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  const std::string exposition = StatsServer::MetricsExposition();
+  EXPECT_NE(exposition.find("# TYPE test_server_lat summary"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("test_server_lat{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("test_server_lat{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("test_server_lat_count 100"), std::string::npos);
+  EXPECT_NE(exposition.find("test_server_lat_sum"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, TimelineServesHeaderAndTail) {
+  TimelineConfig config;
+  config.every_epochs = 1;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  for (int64_t e = 0; e < 5; ++e) TimelineRecorder::Get().OnEpoch(e);
+
+  const std::string all = Get(port_, "/timeline");
+  EXPECT_NE(all.find("application/x-ndjson"), std::string::npos) << all;
+  EXPECT_NE(all.find("\"schema\":\"mqa-timeline-v1\""), std::string::npos);
+  EXPECT_NE(all.find("\"epoch\":0"), std::string::npos);
+  EXPECT_NE(all.find("\"epoch\":4"), std::string::npos);
+
+  const std::string tail = Get(port_, "/timeline?n=2");
+  EXPECT_NE(tail.find("\"schema\":\"mqa-timeline-v1\""), std::string::npos);
+  EXPECT_EQ(tail.find("\"epoch\":0"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(tail.find("\"epoch\":4"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, UnknownPathIs404) {
+  const std::string response = Get(port_, "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+}
+
+TEST_F(StatsServerTest, NonGetIs405) {
+  const std::string response =
+      Request(port_, "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+}
+
+TEST_F(StatsServerTest, CountsRequests) {
+  const int64_t before = StatsServer::Get().request_count();
+  Get(port_, "/healthz");
+  Get(port_, "/healthz");
+  EXPECT_EQ(StatsServer::Get().request_count(), before + 2);
+}
+
+TEST_F(StatsServerTest, StopReleasesThePort) {
+  const int port = port_;
+  StatsServer::Get().Stop();
+  EXPECT_FALSE(StatsServer::Get().active());
+  EXPECT_EQ(StatsServer::Get().port(), 0);
+  // The port is free again: a fresh server can bind it right away.
+  ASSERT_TRUE(StatsServer::Get().Start(port).ok());
+  EXPECT_EQ(StatsServer::Get().port(), port);
+  const std::string response = Get(port, "/healthz");
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, StartWhileRunningIsIdempotent) {
+  EXPECT_TRUE(StatsServer::Get().Start(0).ok());
+  EXPECT_EQ(StatsServer::Get().port(), port_);
+}
+
+}  // namespace
+}  // namespace mqa
+
+#else  // !(__unix__ || __APPLE__)
+
+TEST(StatsServerTest, SkippedOnThisPlatform) { GTEST_SKIP(); }
+
+#endif

@@ -1,0 +1,282 @@
+// Unit tests for src/obs/timeline.cc: snapshot cadence (epoch and
+// sim-time) under the injected tracer clock, counter-delta semantics,
+// ring eviction, JSONL framing of the header and snapshot lines, and
+// the live sink file.
+//
+// No wall-cadence thread is started (every_wall_seconds stays 0), so
+// every snapshot below is driven synchronously and the tests are fully
+// deterministic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace mqa {
+namespace {
+
+std::atomic<int64_t> g_fake_now{0};
+int64_t FakeClock() { return g_fake_now.load(std::memory_order_relaxed); }
+
+constexpr int64_t kSecond = 1000000000;
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Get().Reset();
+    TimelineRecorder::Get().ResetForTesting();
+    g_fake_now.store(0, std::memory_order_relaxed);
+    Tracer::Get().SetClockForTesting(&FakeClock);
+  }
+  void TearDown() override {
+    TimelineRecorder::Get().ResetForTesting();
+    Tracer::Get().SetClockForTesting(nullptr);
+    MetricsRegistry::Get().Reset();
+  }
+
+  static TimelineConfig BufferOnly(int64_t every_epochs) {
+    TimelineConfig config;
+    config.every_epochs = every_epochs;
+    return config;
+  }
+};
+
+TEST_F(TimelineTest, HeaderLineCarriesSchemaAndConfig) {
+  TimelineConfig config = BufferOnly(3);
+  config.ring_capacity = 17;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  const std::string header = TimelineRecorder::Get().HeaderLine();
+  EXPECT_NE(header.find("\"schema\":\"mqa-timeline-v1\""), std::string::npos)
+      << header;
+  EXPECT_NE(header.find("\"every_epochs\":3"), std::string::npos);
+  EXPECT_NE(header.find("\"ring_capacity\":17"), std::string::npos);
+}
+
+TEST_F(TimelineTest, EpochCadenceSnapshotsEveryNthEpoch) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(3)).ok());
+  for (int64_t e = 0; e < 9; ++e) TimelineRecorder::Get().OnEpoch(e);
+  // Epochs 2, 5, 8 -> 3 snapshots.
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 3);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"epoch\":2"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[2].find("\"epoch\":8"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[0].find("\"trigger\":\"epoch\""), std::string::npos);
+}
+
+TEST_F(TimelineTest, SimCadenceSnapshotsWhenSimTimeAdvancesEnough) {
+  TimelineConfig config;
+  config.every_epochs = 0;  // epoch cadence off
+  config.every_sim_seconds = 10.0;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  // Sim time advances 1.0 per epoch: first snapshot once >= 10 elapsed.
+  for (int64_t e = 0; e < 25; ++e) {
+    TimelineRecorder::Get().NoteSimTime(static_cast<double>(e));
+    TimelineRecorder::Get().OnEpoch(e);
+  }
+  // Elapsed-sim >= 10 at sim_time 10 and again at 20 -> 2 snapshots.
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 2);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"trigger\":\"sim\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"sim_time\":10"), std::string::npos) << lines[0];
+}
+
+TEST_F(TimelineTest, CountersSerializeAsDeltasBetweenSnapshots) {
+  Counter* c = MetricsRegistry::Get().counter("test.timeline.widgets");
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  c->Add(5);
+  TimelineRecorder::Get().OnEpoch(0);
+  c->Add(2);
+  TimelineRecorder::Get().OnEpoch(1);
+  TimelineRecorder::Get().OnEpoch(2);  // no counter movement
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"test.timeline.widgets\":5"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"test.timeline.widgets\":2"), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[2].find("\"test.timeline.widgets\":0"), std::string::npos)
+      << lines[2];
+}
+
+TEST_F(TimelineTest, SnapshotCarriesGaugesAndHistogramQuantiles) {
+  MetricsRegistry::Get().gauge("test.timeline.depth")->Set(42.5);
+  Histogram* h = MetricsRegistry::Get().histogram("test.timeline.lat");
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  TimelineRecorder::Get().OnEpoch(0);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"test.timeline.depth\":42.5"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"test.timeline.lat\":{\"count\":100"),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"p50\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"p99\""), std::string::npos);
+}
+
+TEST_F(TimelineTest, SnapshotTimestampsComeFromTheInjectedClock) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  g_fake_now = 7 * kSecond;
+  TimelineRecorder::Get().OnEpoch(0);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"wall_s\":7"), std::string::npos) << lines[0];
+}
+
+TEST_F(TimelineTest, RingEvictsOldestBeyondCapacity) {
+  TimelineConfig config = BufferOnly(1);
+  config.ring_capacity = 4;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  for (int64_t e = 0; e < 10; ++e) TimelineRecorder::Get().OnEpoch(e);
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 10);
+  EXPECT_EQ(TimelineRecorder::Get().evicted_count(), 6);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 4u);
+  // Newest four survive, oldest first.
+  EXPECT_NE(lines[0].find("\"epoch\":6"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[3].find("\"epoch\":9"), std::string::npos) << lines[3];
+}
+
+TEST_F(TimelineTest, TailJsonlLimitsToNewestN) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  for (int64_t e = 0; e < 5; ++e) TimelineRecorder::Get().OnEpoch(e);
+  const auto tail = TimelineRecorder::Get().TailJsonl(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_NE(tail[0].find("\"epoch\":3"), std::string::npos) << tail[0];
+  EXPECT_NE(tail[1].find("\"epoch\":4"), std::string::npos) << tail[1];
+}
+
+TEST_F(TimelineTest, StopTakesOneFinalSnapshot) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1000)).ok());
+  TimelineRecorder::Get().OnEpoch(0);  // below cadence -> no snapshot
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 0);
+  TimelineRecorder::Get().Stop();
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 1);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"trigger\":\"final\""), std::string::npos)
+      << lines[0];
+}
+
+TEST_F(TimelineTest, SinkFileGrowsLiveAndEndsWithFinalSnapshot) {
+  const std::string path =
+      ::testing::TempDir() + "/mqa_timeline_sink_test.jsonl";
+  std::remove(path.c_str());
+  TimelineConfig config = BufferOnly(1);
+  config.sink_path = path;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  MetricsRegistry::Get().counter("test.timeline.sink")->Add(3);
+  TimelineRecorder::Get().OnEpoch(0);
+  {
+    // Already on disk mid-run: header + first snapshot.
+    std::ifstream in(path);
+    std::string line;
+    int lines_on_disk = 0;
+    while (std::getline(in, line)) ++lines_on_disk;
+    EXPECT_EQ(lines_on_disk, 2);
+  }
+  TimelineRecorder::Get().OnEpoch(1);
+  TimelineRecorder::Get().Stop();
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + epoch 0 + epoch 1 + final
+  EXPECT_NE(lines[0].find("\"schema\":\"mqa-timeline-v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":0"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"test.timeline.sink\":3"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"trigger\":\"final\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TimelineTest, WriteJsonlFileDumpsHeaderPlusRing) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  for (int64_t e = 0; e < 3; ++e) TimelineRecorder::Get().OnEpoch(e);
+  const std::string path =
+      ::testing::TempDir() + "/mqa_timeline_dump_test.jsonl";
+  ASSERT_TRUE(TimelineRecorder::Get().WriteJsonlFile(path).ok());
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"schema\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"epoch\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TimelineTest, StartFailsOnUnwritableSink) {
+  TimelineConfig config = BufferOnly(1);
+  config.sink_path = "/nonexistent-dir-zzz/timeline.jsonl";
+  EXPECT_FALSE(TimelineRecorder::Get().Start(config).ok());
+  EXPECT_FALSE(TimelineRecorder::Get().active());
+}
+
+TEST_F(TimelineTest, InactiveHooksAreNoOps) {
+  TimelineRecorder::Get().OnEpoch(0);
+  TimelineRecorder::Get().NoteSimTime(1.0);
+  EXPECT_EQ(TimelineRecorder::Get().snapshot_count(), 0);
+  EXPECT_TRUE(TimelineRecorder::Get().TailJsonl(0).empty());
+}
+
+TEST_F(TimelineTest, WallCadenceThreadSnapshotsConcurrentlyWithEpochs) {
+  // The one cadence that runs off-thread. Snapshot count is timing-
+  // dependent, so only invariants are asserted: the thread produces
+  // "wall" snapshots while OnEpoch produces "epoch" ones, seq stays
+  // dense (every line distinct), and Stop joins cleanly. Under TSan
+  // this is the wall-thread-vs-epoch-loop race test.
+  TimelineConfig config = BufferOnly(1);
+  config.every_wall_seconds = 0.005;
+  ASSERT_TRUE(TimelineRecorder::Get().Start(config).ok());
+  for (int64_t e = 0; e < 50; ++e) {
+    TimelineRecorder::Get().OnEpoch(e);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TimelineRecorder::Get().Stop();
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_GE(lines.size(), 51u);  // 50 epoch snapshots + >= 1 wall/final
+  bool saw_wall = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::ostringstream want;
+    want << "\"seq\":" << i << ",";
+    EXPECT_NE(lines[i].find(want.str()), std::string::npos) << lines[i];
+    if (lines[i].find("\"trigger\":\"wall\"") != std::string::npos) {
+      saw_wall = true;
+    }
+  }
+  EXPECT_TRUE(saw_wall) << "the wall-cadence thread never fired";
+}
+
+TEST_F(TimelineTest, SeqIsDenseAcrossTriggers) {
+  ASSERT_TRUE(TimelineRecorder::Get().Start(BufferOnly(1)).ok());
+  TimelineRecorder::Get().OnEpoch(0);
+  TimelineRecorder::Get().SnapshotNow("manual");
+  TimelineRecorder::Get().OnEpoch(1);
+  const auto lines = TimelineRecorder::Get().TailJsonl(0);
+  ASSERT_EQ(lines.size(), 3u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::ostringstream want;
+    want << "\"seq\":" << i;
+    EXPECT_NE(lines[i].find(want.str()), std::string::npos) << lines[i];
+  }
+  EXPECT_NE(lines[1].find("\"trigger\":\"manual\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqa
