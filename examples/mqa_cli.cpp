@@ -65,6 +65,8 @@ struct CliOptions {
   bool rejoin = false;
   bool csv = false;
   bool pairpool_stats = false;
+  bool delta_pool = false;
+  bool repair = false;
   bool phase_timing = false;
   bool perf_counters = false;
   double watchdog_seconds = 0.0;  // 0 = off
@@ -161,8 +163,13 @@ void PrintUsage() {
       "      candidate generation; rtree suits skewed distributions)\n"
       "  --gamma=G --window=W --seed=S --threads=T\n"
       "  --no-prediction --rejoin --csv\n"
+      "  --delta-pool (delta-maintain the pair pool across epochs:\n"
+      "      per-epoch build cost O(churn), byte-identical assignments)\n"
+      "  --repair (re-solve only the churn-reachable subgraph each epoch;\n"
+      "      results-changing latency/quality tradeoff)\n"
       "  --pairpool-stats (per-epoch pair-pool columns: pair count,\n"
-      "      bytes/pair, arena slabs, lazily-skipped sampling fraction)\n"
+      "      bytes/pair, arena slabs, lazily-skipped sampling fraction,\n"
+      "      churn ratio, delta-reuse fraction)\n"
       "  --phase-timing (per-epoch phase wall-time CSV columns)\n"
       "  --trace=FILE (Chrome trace-event JSON of the epoch lifecycle,\n"
       "      loadable in Perfetto; see docs/OBSERVABILITY.md)\n"
@@ -187,14 +194,17 @@ void PrintUsage() {
 void PrintPoolStatsHeader() {
   std::printf("\npair-pool per epoch (columnar, arena-backed; see "
               "src/core/README.md):\n");
-  std::printf("%5s %12s %8s %7s %13s %10s\n", "epoch", "pairs", "B/pair",
-              "slabs", "arena_peak_B", "lazy_skip");
+  std::printf("%5s %12s %8s %7s %13s %10s %7s %7s %6s\n", "epoch", "pairs",
+              "B/pair", "slabs", "arena_peak_B", "lazy_skip", "churn",
+              "reuse", "delta");
 }
 
 // CSV mode appends these as extra columns on the per-epoch rows instead
 // of a second table, keeping the output machine-parseable.
 void PrintPoolStatsCsvColumns() {
-  std::printf(",pool_pairs,pool_bytes,pool_arena_slabs,pool_lazy_skipped");
+  std::printf(",pool_pairs,pool_bytes,pool_arena_slabs,pool_lazy_skipped"
+              ",churn_ratio,pool_delta_reuse,pool_delta_applied"
+              ",pool_rows_reused,pool_rows_rebuilt");
 }
 
 void PrintPoolStatsCsvValues(const InstanceMetrics& m) {
@@ -202,6 +212,10 @@ void PrintPoolStatsCsvValues(const InstanceMetrics& m) {
               static_cast<long long>(m.pool_bytes),
               static_cast<long long>(m.pool_arena_slabs),
               m.pool_lazy_skipped_fraction);
+  std::printf(",%.4f,%.4f,%d,%lld,%lld", m.churn_ratio,
+              m.pool_delta_reuse_fraction, m.pool_delta_applied ? 1 : 0,
+              static_cast<long long>(m.pool_rows_reused),
+              static_cast<long long>(m.pool_rows_rebuilt));
 }
 
 // Per-epoch phase wall-time breakdown (--phase-timing). Timing fields are
@@ -229,12 +243,14 @@ void PrintPoolStatsRow(const InstanceMetrics& m) {
           ? static_cast<double>(m.pool_bytes) /
                 static_cast<double>(m.pool_pairs)
           : 0.0;
-  std::printf("%5lld %12lld %8.1f %7lld %13lld %9.1f%%\n",
+  std::printf("%5lld %12lld %8.1f %7lld %13lld %9.1f%% %6.1f%% %6.1f%% %6s\n",
               static_cast<long long>(m.instance),
               static_cast<long long>(m.pool_pairs), bytes_per_pair,
               static_cast<long long>(m.pool_arena_slabs),
               static_cast<long long>(m.pool_arena_peak_bytes),
-              100.0 * m.pool_lazy_skipped_fraction);
+              100.0 * m.pool_lazy_skipped_fraction, 100.0 * m.churn_ratio,
+              100.0 * m.pool_delta_reuse_fraction,
+              m.pool_delta_applied ? "yes" : "no");
 }
 
 SpatialDistribution ParseDist(const std::string& s) {
@@ -377,6 +393,10 @@ int main(int argc, char** argv) {
       opt.csv = true;
     } else if (std::strcmp(a, "--pairpool-stats") == 0) {
       opt.pairpool_stats = true;
+    } else if (std::strcmp(a, "--delta-pool") == 0) {
+      opt.delta_pool = true;
+    } else if (std::strcmp(a, "--repair") == 0) {
+      opt.repair = true;
     } else if (std::strcmp(a, "--phase-timing") == 0) {
       opt.phase_timing = true;
     } else if (std::strcmp(a, "--perf-counters") == 0) {
@@ -456,6 +476,8 @@ int main(int argc, char** argv) {
     report.SetConfig("seed", static_cast<int64_t>(opt.seed));
     report.SetConfig("threads", static_cast<int64_t>(opt.threads));
     report.SetConfig("perf_counters", opt.perf_counters);
+    report.SetConfig("delta_pool", opt.delta_pool);
+    report.SetConfig("repair", opt.repair);
   }
 
   ScenarioKind scenario_kind = ScenarioKind::kPaper;
@@ -553,10 +575,15 @@ int main(int argc, char** argv) {
   // and --index only change wall-clock time.
   config.num_threads = opt.threads;
   config.index_backend = index_backend;
+  // Delta pool maintenance never changes assignments; repair does (both
+  // documented in sim/simulator_config.h).
+  config.incremental_pool = opt.delta_pool;
+  config.repair = opt.repair;
 
   AssignerOptions assigner_options;
   assigner_options.seed = opt.seed;
   assigner_options.index_backend = index_backend;
+  assigner_options.repair = opt.repair;
   auto assigner = CreateAssigner(kind, assigner_options);
 
   if (opt.stream) {

@@ -56,7 +56,8 @@ class GreedyAssigner : public OptionsAssigner {
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
     MQA_TRACE_SPAN("assign/greedy");
-    return RunGreedy(instance, options_.delta, PoolOptions());
+    return RunGreedy(instance, options_.delta, PoolOptions(),
+                     options_.repair);
   }
 
   const char* name() const override { return "GREEDY"; }
@@ -70,7 +71,7 @@ class DivideConquerAssigner : public OptionsAssigner {
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
     MQA_TRACE_SPAN("assign/dc");
     return RunDivideConquer(instance, options_.delta, options_.dc_branching,
-                            PoolOptions());
+                            PoolOptions(), options_.repair);
   }
 
   const char* name() const override { return "D&C"; }
@@ -83,7 +84,8 @@ class RandomAssigner : public OptionsAssigner {
 
   Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
     MQA_TRACE_SPAN("assign/random");
-    return RunRandom(instance, options_.delta, next_seed_++, PoolOptions());
+    return RunRandom(instance, options_.delta, next_seed_++, PoolOptions(),
+                     options_.repair);
   }
 
   const char* name() const override { return "RANDOM"; }

@@ -1,9 +1,12 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/logging.h"
 #include "core/candidate_set.h"
+#include "core/repair.h"
 #include "core/selection.h"
 #include "obs/trace.h"
 
@@ -81,7 +84,7 @@ AssignmentResult EmitCurrentPairs(const ProblemInstance& instance,
 }
 
 AssignmentResult RunGreedy(const ProblemInstance& instance, double delta,
-                           const PairPoolOptions& pool_options) {
+                           const PairPoolOptions& pool_options, bool repair) {
   PairPoolOptions options = pool_options;
   options.include_predicted = true;
   const PairPool pool = BuildPairPool(instance, options);
@@ -89,13 +92,18 @@ AssignmentResult RunGreedy(const ProblemInstance& instance, double delta,
   std::vector<char> task_used(instance.tasks().size(), 0);
   BudgetTracker budget(instance.budget(), delta);
 
-  std::vector<int32_t> all_ids(pool.size());
-  for (size_t i = 0; i < all_ids.size(); ++i) {
-    all_ids[i] = static_cast<int32_t>(i);
+  std::vector<int32_t> ids;
+  std::optional<std::vector<int32_t>> scope;
+  if (repair) scope = ComputeRepairPairIds(instance, pool);
+  if (scope.has_value()) {
+    ids = std::move(*scope);
+  } else {
+    ids.resize(pool.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
   }
 
   std::vector<int32_t> selected;
-  GreedySelect(pool, all_ids, &worker_used, &task_used, &budget, &selected);
+  GreedySelect(pool, ids, &worker_used, &task_used, &budget, &selected);
   return EmitCurrentPairs(instance, pool, selected);
 }
 

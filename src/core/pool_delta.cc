@@ -1,0 +1,188 @@
+#include "core/pool_delta.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mqa {
+
+void PoolDeltaCache::BeginEpoch(const std::vector<Worker>& workers,
+                                size_t num_current_workers,
+                                const std::vector<Task>& tasks,
+                                size_t num_current_tasks) {
+  ++epoch_;
+  committed_ = false;
+  stats_ = PoolDeltaStats{};
+  stats_.tracked = true;
+
+  // --- Tasks: match current tasks against the snapshot by identity. ---
+  // A carried task keeps id and location box while its remaining deadline
+  // ticks down; a deadline that *grew* breaks the survivors-subset
+  // argument, so such a task is deliberately treated as churn (its old
+  // row entries are dropped and it is re-scanned like an arrival).
+  task_cur_of_prev_.assign(prev_tasks_.size(), -1);
+  new_current_tasks_.clear();
+  churned_tasks_.assign(num_current_tasks, 0);
+  bool monotone = true;
+  {
+    std::unordered_multimap<int64_t, int32_t> by_id;
+    by_id.reserve(prev_tasks_.size());
+    for (size_t p = 0; p < prev_tasks_.size(); ++p) {
+      by_id.emplace(prev_tasks_[p].id, static_cast<int32_t>(p));
+    }
+    int32_t last_matched_prev = -1;
+    for (size_t j = 0; j < num_current_tasks; ++j) {
+      const Task& t = tasks[j];
+      int32_t match = -1;
+      auto range = by_id.equal_range(t.id);
+      for (auto it = range.first; it != range.second; ++it) {
+        const Task& prev = prev_tasks_[static_cast<size_t>(it->second)];
+        if (task_cur_of_prev_[static_cast<size_t>(it->second)] >= 0) continue;
+        if (!(prev.location == t.location)) continue;
+        if (t.deadline > prev.deadline) continue;
+        match = it->second;
+        break;
+      }
+      if (match >= 0) {
+        task_cur_of_prev_[static_cast<size_t>(match)] =
+            static_cast<int32_t>(j);
+        // Carried rows are replayed by remapping their ascending prev
+        // task order; that stays ascending only when matches appear in
+        // the same relative order. Both simulators compact carryover
+        // order-preservingly, so a violation means an out-of-contract
+        // caller — fall back to a full rebuild instead of merging.
+        if (match < last_matched_prev) monotone = false;
+        last_matched_prev = match;
+      } else {
+        new_current_tasks_.push_back(static_cast<int32_t>(j));
+        churned_tasks_[j] = 1;
+      }
+    }
+  }
+  departed_task_snapshots_.clear();
+  int64_t departed_tasks = 0;
+  for (size_t p = 0; p < prev_tasks_.size(); ++p) {
+    if (task_cur_of_prev_[p] < 0) {
+      ++departed_tasks;
+      departed_task_snapshots_.push_back(prev_tasks_[p]);
+    }
+  }
+
+  // --- Workers: identity match is (id, location box, velocity). ---
+  worker_prev_of_cur_.assign(num_current_workers, -1);
+  churned_workers_.assign(num_current_workers, 0);
+  std::vector<char> prev_worker_claimed(prev_workers_.size(), 0);
+  {
+    std::unordered_multimap<int64_t, int32_t> by_id;
+    by_id.reserve(prev_workers_.size());
+    for (size_t p = 0; p < prev_workers_.size(); ++p) {
+      by_id.emplace(prev_workers_[p].id, static_cast<int32_t>(p));
+    }
+    for (size_t i = 0; i < num_current_workers; ++i) {
+      const Worker& w = workers[i];
+      auto range = by_id.equal_range(w.id);
+      for (auto it = range.first; it != range.second; ++it) {
+        const Worker& prev = prev_workers_[static_cast<size_t>(it->second)];
+        if (prev_worker_claimed[static_cast<size_t>(it->second)]) continue;
+        if (!(prev.location == w.location)) continue;
+        if (prev.velocity != w.velocity) continue;
+        worker_prev_of_cur_[i] = it->second;
+        prev_worker_claimed[static_cast<size_t>(it->second)] = 1;
+        break;
+      }
+      if (worker_prev_of_cur_[i] < 0) churned_workers_[i] = 1;
+    }
+  }
+  departed_prev_workers_.clear();
+  for (size_t p = 0; p < prev_workers_.size(); ++p) {
+    if (!prev_worker_claimed[p]) {
+      departed_prev_workers_.push_back(static_cast<int32_t>(p));
+    }
+  }
+
+  // Repair seeds that need the *old* snapshot rows: tasks that lost a
+  // candidate to a departed worker. Resolved here (not at repair time)
+  // because this epoch's build commits a new snapshot before the solve.
+  lost_candidate_tasks_.clear();
+  if (has_prev_ && row_begin_.size() == prev_workers_.size() + 1) {
+    std::vector<char> seen(num_current_tasks, 0);
+    for (const int32_t p : departed_prev_workers_) {
+      const Row row = prev_row(p);
+      for (size_t k = 0; k < row.count; ++k) {
+        const size_t prev_task = static_cast<size_t>(row.data[k].task);
+        if (prev_task >= task_cur_of_prev_.size()) continue;
+        const int32_t j = task_cur_of_prev_[prev_task];
+        if (j < 0 || seen[static_cast<size_t>(j)]) continue;
+        seen[static_cast<size_t>(j)] = 1;
+        lost_candidate_tasks_.push_back(j);
+      }
+    }
+  }
+
+  // --- Churn accounting. ---
+  const int64_t new_workers =
+      static_cast<int64_t>(num_current_workers) -
+      (static_cast<int64_t>(prev_workers_.size()) -
+       static_cast<int64_t>(departed_prev_workers_.size()));
+  stats_.churned_workers =
+      new_workers + static_cast<int64_t>(departed_prev_workers_.size());
+  stats_.churned_tasks =
+      static_cast<int64_t>(new_current_tasks_.size()) + departed_tasks;
+  const int64_t base = static_cast<int64_t>(num_current_workers) +
+                       static_cast<int64_t>(num_current_tasks) +
+                       static_cast<int64_t>(departed_prev_workers_.size()) +
+                       departed_tasks;
+  stats_.churn_ratio =
+      base > 0 ? static_cast<double>(stats_.churned_workers +
+                                     stats_.churned_tasks) /
+                     static_cast<double>(base)
+               : 1.0;
+
+  plan_valid_ = has_prev_ && monotone;
+  if (has_prev_ && !monotone) {
+    // Every snapshot row is unusable this epoch.
+    stats_.rows_invalidated += static_cast<int64_t>(prev_workers_.size());
+  } else if (has_prev_) {
+    // Rows of departed workers have no current owner to replay into.
+    stats_.rows_invalidated +=
+        static_cast<int64_t>(departed_prev_workers_.size());
+  }
+  (void)workers;
+  (void)tasks;
+}
+
+std::vector<CachedCandidate>* PoolDeltaCache::TakeRowStorage() {
+  staged_rows_.clear();
+  return &staged_rows_;
+}
+
+std::vector<int64_t>* PoolDeltaCache::TakeOffsetStorage() {
+  staged_begin_.clear();
+  return &staged_begin_;
+}
+
+void PoolDeltaCache::Commit(const std::vector<Worker>& workers,
+                            size_t num_current_workers,
+                            const std::vector<Task>& tasks,
+                            size_t num_current_tasks,
+                            std::vector<int64_t> row_epochs) {
+  MQA_CHECK(staged_begin_.size() == num_current_workers + 1)
+      << "pool delta commit offsets cover " << staged_begin_.size()
+      << " entries for " << num_current_workers << " workers";
+  prev_workers_.assign(workers.begin(),
+                       workers.begin() + static_cast<int64_t>(
+                                             num_current_workers));
+  prev_tasks_.assign(tasks.begin(),
+                     tasks.begin() + static_cast<int64_t>(num_current_tasks));
+  std::swap(rows_, staged_rows_);
+  std::swap(row_begin_, staged_begin_);
+  if (row_epochs.empty()) {
+    row_epochs.assign(num_current_workers, epoch_);
+  }
+  row_epochs_ = std::move(row_epochs);
+  has_prev_ = true;
+  committed_ = true;
+}
+
+}  // namespace mqa

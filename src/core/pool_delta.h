@@ -1,0 +1,219 @@
+#ifndef MQA_CORE_POOL_DELTA_H_
+#define MQA_CORE_POOL_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_pool.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace mqa {
+
+/// One cached valid pair of a worker's pool row: the task's *epoch-local
+/// index at commit time* plus every expensive derived value the pair
+/// builder would otherwise recompute — the exact box min-distance, the
+/// fixed quality score (current-current pairs only) and the four cost
+/// moments. All of them are pure functions of (worker identity, task
+/// identity, unit price), none of a task's *remaining* deadline, so a
+/// carried-over pair replays bit-for-bit; only the reachability predicate
+/// must be re-applied against the aged deadline (see PoolDeltaCache).
+struct CachedCandidate {
+  int32_t task = 0;
+  double min_dist = 0.0;
+  double score = 0.0;
+  double cost_mean = 0.0;
+  double cost_var = 0.0;
+  double cost_lb = 0.0;
+  double cost_ub = 0.0;
+};
+
+/// Cross-epoch memory of the pair pool's current-current rows, owned by
+/// EpochRunner and handed to BuildPairPool through
+/// ProblemInstance::pool_delta. Turns the per-epoch pool build from
+/// O(workers x reach-degree) index scans into O(churn) scans plus an
+/// O(pairs) column replay:
+///
+///   * Commit (every epoch, any build path): snapshot each *current*
+///     worker's current-current candidates — task index, min-distance,
+///     score, cost moments — plus the identity keys of all current
+///     entities (worker id/box/velocity, task id/box/deadline). Rows are
+///     epoch-tagged: a row's version is the epoch that last rebuilt it.
+///   * BeginEpoch (next epoch, before the build): match the new entity
+///     vectors against the snapshot by identity. Matched workers keep
+///     their row (reused); unmatched workers/tasks are the churn.
+///   * Delta build (valid_pairs.cc): reused rows replay from the cache —
+///     remap task indices, re-apply the exact reachability predicate
+///     against the aged deadline (deadlines only shrink, so survivors are
+///     always a subset of the cached row) and copy the cached values into
+///     the columns. Only churned workers are re-scanned against the task
+///     index, and candidates for churned/predicted *tasks* are merged
+///     into reused rows via role-swapped worker-index queries.
+///
+/// Byte-identity argument (property-tested in tests/pairpool_test.cc and
+/// tests/stream_property_test.cc): scores depend only on entity ids,
+/// costs and min-distances only on location boxes and the unit price, and
+/// a carried entity matches only when those identity inputs are bitwise
+/// equal — so every replayed value equals what a from-scratch build would
+/// compute. The filter is the same CanReachAtDistance call on the same
+/// min_dist. Row and candidate order is preserved because both simulators
+/// compact carried entities order-preservingly and append arrivals;
+/// BeginEpoch verifies that (task remap monotonicity, deadline shrink)
+/// and falls back to a full rebuild when a caller violates it.
+///
+/// Requires a quality model whose Score depends only on the worker/task
+/// identities (never on a task's remaining deadline) — true of
+/// RangeQualityModel; a model that violates this must not enable delta
+/// maintenance.
+///
+/// Not thread-safe; BeginEpoch/Commit run on the epoch spine. The
+/// read-side accessors are safe to use concurrently between them.
+class PoolDeltaCache {
+ public:
+  /// `apply_deltas` gates the delta *build* path (SimulatorConfig::
+  /// incremental_pool); with it false the cache still tracks churn and
+  /// commits rows — the repair solve mode needs the churn plan without
+  /// changing how pools are built.
+  explicit PoolDeltaCache(bool apply_deltas) : apply_deltas_(apply_deltas) {}
+
+  /// Matches the epoch's entity vectors (current prefix, predicted tail)
+  /// against the previous committed snapshot and computes the remap plan,
+  /// churn seed flags and PoolDeltaStats churn fields. Call once per
+  /// epoch before BuildPairPool.
+  void BeginEpoch(const std::vector<Worker>& workers,
+                  size_t num_current_workers, const std::vector<Task>& tasks,
+                  size_t num_current_tasks);
+
+  bool apply_deltas() const { return apply_deltas_; }
+
+  /// True when the delta build path may run this epoch: a previous
+  /// snapshot exists, it has not been consumed by a commit yet, and the
+  /// ordering invariants held in BeginEpoch.
+  bool delta_applicable() const { return plan_valid_ && !committed_; }
+
+  /// True once any epoch has been committed (repair needs churn flags,
+  /// which are meaningless before the first snapshot).
+  bool has_snapshot() const { return has_prev_; }
+
+  int64_t epoch() const { return epoch_; }
+
+  // --- Remap plan (valid between BeginEpoch and Commit). ---
+
+  /// Previous current-worker index of current worker i, or -1 when new.
+  const std::vector<int32_t>& worker_prev_of_cur() const {
+    return worker_prev_of_cur_;
+  }
+  /// Current task index of previous current task p, or -1 when departed.
+  const std::vector<int32_t>& task_cur_of_prev() const {
+    return task_cur_of_prev_;
+  }
+  /// Current task indices with no previous match, ascending.
+  const std::vector<int32_t>& new_current_tasks() const {
+    return new_current_tasks_;
+  }
+
+  /// Epoch tag of the committed row of previous current worker p (the
+  /// epoch that last rebuilt it).
+  int64_t prev_row_epoch(int32_t p) const {
+    return row_epochs_[static_cast<size_t>(p)];
+  }
+
+  struct Row {
+    const CachedCandidate* data = nullptr;
+    size_t count = 0;
+  };
+  /// The committed current-current row of previous current worker p.
+  Row prev_row(int32_t p) const {
+    const size_t i = static_cast<size_t>(p);
+    return {rows_.data() + row_begin_[i],
+            static_cast<size_t>(row_begin_[i + 1] - row_begin_[i])};
+  }
+  size_t prev_num_current_workers() const { return prev_workers_.size(); }
+  size_t prev_num_current_tasks() const { return prev_tasks_.size(); }
+
+  // --- Churn seeds for the repair solve mode. ---
+
+  /// churned_workers()[i] == 1 when current worker i is new this epoch
+  /// (no identity match in the snapshot); sized num_current_workers.
+  const std::vector<char>& churned_workers() const { return churned_workers_; }
+  /// Same for current tasks; sized num_current_tasks.
+  const std::vector<char>& churned_tasks() const { return churned_tasks_; }
+  /// Previous current workers that departed (indices into the snapshot;
+  /// their prev_row lists the tasks whose options shrank).
+  const std::vector<int32_t>& departed_prev_workers() const {
+    return departed_prev_workers_;
+  }
+  /// Current task indices that lost a candidate to a departed worker —
+  /// the still-present tasks on departed workers' cached rows, remapped
+  /// and deduplicated. Precomputed by BeginEpoch because the repair solve
+  /// runs *after* this epoch's build has already Commit()ed a new
+  /// snapshot, at which point prev_row()/task_cur_of_prev() no longer
+  /// describe the same epoch.
+  const std::vector<int32_t>& lost_candidate_tasks() const {
+    return lost_candidate_tasks_;
+  }
+  /// Identity snapshots of previous current tasks that departed — the
+  /// repair scope seeds workers around their last known location.
+  const std::vector<Task>& departed_task_snapshots() const {
+    return departed_task_snapshots_;
+  }
+
+  /// The epoch's delta stats block, churn fields filled by BeginEpoch and
+  /// row/pair fields by the build path. BuildPairPool copies it into the
+  /// pool's stats.
+  PoolDeltaStats& stats() { return stats_; }
+  const PoolDeltaStats& stats() const { return stats_; }
+
+  // --- Commit (called by BuildPairPool after any build). ---
+
+  /// Reusable storage for the next snapshot's rows: previously committed
+  /// buffers with their capacity, cleared. Fill with each current
+  /// worker's current-current candidates (worker-major, ascending task)
+  /// and per-worker begin offsets (num_current_workers + 1 entries), then
+  /// Commit.
+  std::vector<CachedCandidate>* TakeRowStorage();
+  std::vector<int64_t>* TakeOffsetStorage();
+
+  /// Installs the new snapshot: the rows staged in TakeRowStorage /
+  /// TakeOffsetStorage plus identity copies of the current entities.
+  /// `row_epochs` tags each row with the epoch that produced its bytes
+  /// (reused rows keep their old tag); empty means "all rebuilt now".
+  void Commit(const std::vector<Worker>& workers, size_t num_current_workers,
+              const std::vector<Task>& tasks, size_t num_current_tasks,
+              std::vector<int64_t> row_epochs);
+
+ private:
+  bool apply_deltas_ = false;
+  int64_t epoch_ = -1;
+  bool has_prev_ = false;
+  bool plan_valid_ = false;
+  bool committed_ = false;
+
+  // Committed snapshot: identity keys + current-current rows.
+  std::vector<Worker> prev_workers_;
+  std::vector<Task> prev_tasks_;
+  std::vector<CachedCandidate> rows_;
+  std::vector<int64_t> row_begin_;  // prev_workers_.size() + 1
+  std::vector<int64_t> row_epochs_;
+
+  // Staging buffers handed out by TakeRowStorage/TakeOffsetStorage
+  // (capacity recycled across epochs).
+  std::vector<CachedCandidate> staged_rows_;
+  std::vector<int64_t> staged_begin_;
+
+  // Per-epoch plan.
+  std::vector<int32_t> worker_prev_of_cur_;
+  std::vector<int32_t> task_cur_of_prev_;
+  std::vector<int32_t> new_current_tasks_;
+  std::vector<char> churned_workers_;
+  std::vector<char> churned_tasks_;
+  std::vector<int32_t> departed_prev_workers_;
+  std::vector<Task> departed_task_snapshots_;
+  std::vector<int32_t> lost_candidate_tasks_;
+
+  PoolDeltaStats stats_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_POOL_DELTA_H_

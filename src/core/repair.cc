@@ -1,0 +1,115 @@
+#include "core/repair.h"
+
+#include <algorithm>
+
+#include "core/pool_delta.h"
+#include "index/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mqa {
+
+std::optional<std::vector<int32_t>> ComputeRepairPairIds(
+    const ProblemInstance& instance, const PairPool& pool) {
+  const PoolDeltaCache* cache = instance.pool_delta();
+  if (cache == nullptr || !cache->has_snapshot()) {
+    MQA_METRIC_COUNT("mqa.repair.full_solves", 1);
+    return std::nullopt;
+  }
+  MQA_TRACE_SPAN("assign/repair_scope");
+
+  const size_t num_workers = instance.workers().size();
+  const size_t num_tasks = instance.tasks().size();
+  const size_t ncw = instance.num_current_workers();
+  const size_t nct = instance.num_current_tasks();
+
+  std::vector<char> worker_in(num_workers, 0);
+  std::vector<char> task_in(num_tasks, 0);
+  // Every prediction refresh replaces the predicted entities wholesale.
+  for (size_t i = ncw; i < num_workers; ++i) worker_in[i] = 1;
+  for (size_t j = nct; j < num_tasks; ++j) task_in[j] = 1;
+
+  // Seeds: arrivals.
+  std::vector<int32_t> seed_workers;
+  std::vector<int32_t> seed_tasks;
+  const std::vector<char>& churned_w = cache->churned_workers();
+  for (size_t i = 0; i < std::min(ncw, churned_w.size()); ++i) {
+    if (churned_w[i]) {
+      worker_in[i] = 1;
+      seed_workers.push_back(static_cast<int32_t>(i));
+    }
+  }
+  const std::vector<char>& churned_t = cache->churned_tasks();
+  for (size_t j = 0; j < std::min(nct, churned_t.size()); ++j) {
+    if (churned_t[j]) {
+      task_in[j] = 1;
+      seed_tasks.push_back(static_cast<int32_t>(j));
+    }
+  }
+
+  // Seeds: tasks that lost a candidate — the still-present tasks on each
+  // departed worker's cached row (resolved by BeginEpoch against the old
+  // snapshot; by now the build has committed a new one).
+  for (const int32_t j : cache->lost_candidate_tasks()) {
+    if (static_cast<size_t>(j) < nct && !task_in[static_cast<size_t>(j)]) {
+      task_in[static_cast<size_t>(j)] = 1;
+      seed_tasks.push_back(j);
+    }
+  }
+
+  // Seeds: workers that lost an option — within reach of a departed
+  // task's last known location/deadline (superset is fine).
+  const SpatialIndex* worker_index = instance.worker_index();
+  if (worker_index != nullptr &&
+      !cache->departed_task_snapshots().empty()) {
+    double max_velocity = 0.0;
+    for (size_t i = 0; i < ncw; ++i) {
+      max_velocity = std::max(max_velocity, instance.workers()[i].velocity);
+    }
+    for (const Task& t : cache->departed_task_snapshots()) {
+      worker_index->QueryReachable(
+          t.location, t.deadline, max_velocity,
+          [&](int64_t wid, const BBox&, double) {
+            if (wid < 0 || wid >= static_cast<int64_t>(ncw)) return;
+            if (worker_in[static_cast<size_t>(wid)]) return;
+            worker_in[static_cast<size_t>(wid)] = 1;
+            seed_workers.push_back(static_cast<int32_t>(wid));
+          });
+    }
+  }
+
+  // One adjacency hop from the seeds (the seeds collected above, not the
+  // hop's own additions — the scope is deliberately local).
+  for (const int32_t i : seed_workers) {
+    for (const int32_t id : pool.PairsByWorker(i)) {
+      task_in[static_cast<size_t>(pool.TaskIndex(id))] = 1;
+    }
+  }
+  for (const int32_t j : seed_tasks) {
+    for (const int32_t id : pool.PairsByTask(j)) {
+      worker_in[static_cast<size_t>(pool.WorkerIndex(id))] = 1;
+    }
+  }
+
+  std::vector<int32_t> scope;
+  for (size_t id = 0; id < pool.size(); ++id) {
+    if (worker_in[static_cast<size_t>(
+            pool.WorkerIndex(static_cast<int32_t>(id)))] &&
+        task_in[static_cast<size_t>(
+            pool.TaskIndex(static_cast<int32_t>(id)))]) {
+      scope.push_back(static_cast<int32_t>(id));
+    }
+  }
+
+  int64_t scope_workers = 0;
+  for (const char in : worker_in) scope_workers += in ? 1 : 0;
+  int64_t scope_tasks = 0;
+  for (const char in : task_in) scope_tasks += in ? 1 : 0;
+  MQA_METRIC_COUNT("mqa.repair.scope_pairs",
+                   static_cast<int64_t>(scope.size()));
+  MQA_METRIC_COUNT("mqa.repair.scope_workers", scope_workers);
+  MQA_METRIC_COUNT("mqa.repair.scope_tasks", scope_tasks);
+  return scope;
+}
+
+}  // namespace mqa

@@ -1,0 +1,46 @@
+#ifndef MQA_CORE_REPAIR_H_
+#define MQA_CORE_REPAIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/valid_pairs.h"
+#include "model/problem_instance.h"
+
+namespace mqa {
+
+/// The pair scope of the assignment *repair* solve mode
+/// (AssignerOptions::repair): instead of re-solving the whole instance
+/// every epoch, restrict the solver to the subgraph reachable — via the
+/// pool's worker/task adjacency — from this epoch's churn. Entities whose
+/// candidate sets provably did not change since the previous epoch keep
+/// waiting; everything the churn could have affected is re-decided.
+///
+/// Scope construction (requires the instance's PoolDeltaCache, which
+/// tracks churn even when delta pool builds are off):
+///   * seed workers: arrivals (churned worker flags) plus current workers
+///     within reach of a *departed* task's last known location — they
+///     lost an option (found via role-swapped worker-index queries; a
+///     superset is fine, this is a heuristic scope);
+///   * seed tasks: arrivals plus the still-present tasks on a *departed*
+///     worker's cached row — they lost a candidate;
+///   * predicted entities are always in scope (every prediction refresh
+///     replaces them);
+///   * one adjacency hop: tasks of seed workers and workers of seed
+///     tasks join the scope. A pair is in scope iff both endpoints are.
+///
+/// Returns the in-scope pair ids, ascending — the exact id-subset shape
+/// GreedySelect and the D&C root consume. Returns nullopt (meaning: run
+/// the full solve) when no delta cache is attached or no snapshot exists
+/// yet (epoch 0 degenerates to a full solve by construction).
+///
+/// This mode intentionally changes results: quality-vs-latency against
+/// the global re-solve is measured by bench/stream_bench's churn sweep
+/// and reported in BENCH_churn.json.
+std::optional<std::vector<int32_t>> ComputeRepairPairIds(
+    const ProblemInstance& instance, const PairPool& pool);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_REPAIR_H_

@@ -11,6 +11,19 @@
 
 namespace mqa {
 
+/// What one EntityIndexCache::BeginInstance call did to its index, for
+/// the epoch telemetry (mqa.index.* counters).
+struct IndexChurnStats {
+  /// Entities matched to a live entry (kept their bucket).
+  int64_t carried = 0;
+  /// Arrivals (no live match) and departures (live entry not matched).
+  int64_t inserted = 0;
+  int64_t erased = 0;
+  /// True when the insert+erase volume crossed the rebuild threshold and
+  /// the cache bulk-rebuilt instead of churning entries one by one.
+  bool bulk_rebuilt = false;
+};
+
 /// Maintains an entity spatial index *across* simulation epochs so the
 /// per-epoch index cost is proportional to the churn, not the pool. This
 /// is the machinery behind TaskIndexCache (tasks) and WorkerIndexCache
@@ -36,6 +49,15 @@ namespace mqa {
 /// bound*, which QueryReachable pruning tolerates by design (stale maxima
 /// only weaken pruning; the exact downstream filter stays authoritative).
 ///
+/// Rebuild break-even: per-entry churn beats a rebuild only while the
+/// churn is small. Past rebuild_threshold() (default: insert+erase volume
+/// above 50% of the incoming vector) BeginInstance bulk-rebuilds the warm
+/// index instead — one BulkLoad at the right grid resolution, with
+/// *refreshed* pruning bounds (refreshing only sharpens pruning; query
+/// result sets are unchanged because the downstream exact filter is
+/// authoritative either way). The decision is made from a pure matching
+/// pass, so the mutation cost is paid exactly once either way.
+///
 /// Concurrency: BeginInstance mutates the cache and must be exclusive;
 /// between BeginInstance calls, view() queries are const pass-throughs
 /// and safe from any number of threads concurrently.
@@ -57,47 +79,61 @@ class EntityIndexCache {
   /// predicted). Invalidates the previous view().
   void BeginInstance(const std::vector<Entity>& entities) {
     if (live_.empty()) {
-      // Nothing to carry over (first epoch, or the no-reuse baseline):
-      // one bulk build at the right resolution instead of incremental
-      // insert/rebalance churn.
-      slot_boxes_.clear();
-      free_slots_.clear();
-      slot_to_index_.resize(entities.size());
-      std::vector<IndexEntry> entries;
-      entries.reserve(entities.size());
-      for (size_t j = 0; j < entities.size(); ++j) {
-        const Entity& e = entities[j];
-        slot_boxes_.push_back(Traits::box(e));
-        entries.push_back(
-            {static_cast<int64_t>(j), Traits::box(e), Traits::bound(e)});
-        live_.emplace(Traits::id(e), static_cast<int32_t>(j));
-        slot_to_index_[j] = static_cast<int32_t>(j);
-      }
-      index_->BulkLoad(entries);
-      view_->Reset(index_.get(), &slot_to_index_, entities.size());
+      // Nothing to carry over (first epoch, or the no-reuse baseline).
+      last_churn_ = IndexChurnStats{};
+      last_churn_.inserted = static_cast<int64_t>(entities.size());
+      BulkRebuild(entities);
       return;
     }
 
+    // Pass 1 — pure matching (no index mutation): resolve every entity
+    // to a live slot or -1, and count the churn the sync would cost.
     // Every live slot was allocated before this call, so `claimed` sized
     // to the current slot store covers them all.
     std::vector<char> claimed(slot_boxes_.size(), 0);
-    std::unordered_multimap<int64_t, int32_t> next_live;
-    next_live.reserve(entities.size());
-
-    slot_to_index_.assign(slot_boxes_.size(), -1);
+    match_.assign(entities.size(), -1);
+    size_t matched = 0;
     for (size_t j = 0; j < entities.size(); ++j) {
       const Entity& e = entities[j];
-      int32_t slot = -1;
       auto range = live_.equal_range(Traits::id(e));
       for (auto it = range.first; it != range.second; ++it) {
         const int32_t s = it->second;
         if (!claimed[static_cast<size_t>(s)] &&
             slot_boxes_[static_cast<size_t>(s)] == Traits::box(e)) {
-          slot = s;
+          match_[j] = s;
           claimed[static_cast<size_t>(s)] = 1;
+          ++matched;
           break;
         }
       }
+    }
+    const size_t inserts = entities.size() - matched;
+    const size_t erases = live_.size() - matched;
+    last_churn_ = IndexChurnStats{};
+    last_churn_.carried = static_cast<int64_t>(matched);
+    last_churn_.inserted = static_cast<int64_t>(inserts);
+    last_churn_.erased = static_cast<int64_t>(erases);
+
+    // Break-even: past the threshold, per-entry Insert/Erase (plus the
+    // grid imbalance a drifted population accumulates) costs more than
+    // one bulk build at a freshly tuned resolution.
+    if (static_cast<double>(inserts + erases) >
+        rebuild_threshold_ * static_cast<double>(entities.size())) {
+      last_churn_.bulk_rebuilt = true;
+      live_.clear();
+      BulkRebuild(entities);
+      return;
+    }
+
+    // Pass 2 — apply: insert arrivals, then erase departures (in that
+    // order so freed slots are never handed to this epoch's arrivals,
+    // matching the historical slot-numbering behavior).
+    std::unordered_multimap<int64_t, int32_t> next_live;
+    next_live.reserve(entities.size());
+    slot_to_index_.assign(slot_boxes_.size(), -1);
+    for (size_t j = 0; j < entities.size(); ++j) {
+      const Entity& e = entities[j];
+      int32_t slot = match_[j];
       if (slot < 0) {
         slot = AllocateSlot(Traits::box(e));
         // Carried-over entities keep the bound they were inserted with
@@ -127,6 +163,18 @@ class EntityIndexCache {
     live_ = std::move(next_live);
 
     view_->Reset(index_.get(), &slot_to_index_, entities.size());
+  }
+
+  /// What the last BeginInstance did (churn counts, rebuild decision).
+  const IndexChurnStats& last_churn() const { return last_churn_; }
+
+  /// Churn volume (inserts + erases) as a fraction of the incoming entity
+  /// vector above which BeginInstance bulk-rebuilds. 0 rebuilds on any
+  /// churn; anything >= 2 never rebuilds a warm index (volume is bounded
+  /// by entities + previous entries).
+  double rebuild_threshold() const { return rebuild_threshold_; }
+  void set_rebuild_threshold(double threshold) {
+    rebuild_threshold_ = threshold;
   }
 
   /// Index over the entities of the last BeginInstance call; entry ids
@@ -194,6 +242,28 @@ class EntityIndexCache {
     size_t num_entities_ = 0;
   };
 
+  /// One bulk build at the right resolution instead of incremental
+  /// insert/rebalance churn: replaces the slot store (slot j = entity j)
+  /// and loads every entity with a *fresh* pruning bound. Callers must
+  /// clear live_ first (or have it empty).
+  void BulkRebuild(const std::vector<Entity>& entities) {
+    slot_boxes_.clear();
+    free_slots_.clear();
+    slot_to_index_.assign(entities.size(), -1);
+    std::vector<IndexEntry> entries;
+    entries.reserve(entities.size());
+    for (size_t j = 0; j < entities.size(); ++j) {
+      const Entity& e = entities[j];
+      slot_boxes_.push_back(Traits::box(e));
+      entries.push_back(
+          {static_cast<int64_t>(j), Traits::box(e), Traits::bound(e)});
+      live_.emplace(Traits::id(e), static_cast<int32_t>(j));
+      slot_to_index_[j] = static_cast<int32_t>(j);
+    }
+    index_->BulkLoad(entries);
+    view_->Reset(index_.get(), &slot_to_index_, entities.size());
+  }
+
   int32_t AllocateSlot(const BBox& box) {
     if (!free_slots_.empty()) {
       const int32_t slot = free_slots_.back();
@@ -212,7 +282,10 @@ class EntityIndexCache {
   // malformed stream with duplicate ids degrades to churn, not corruption.
   std::unordered_multimap<int64_t, int32_t> live_;
   std::vector<int32_t> slot_to_index_;
+  std::vector<int32_t> match_;  // pass-1 scratch, capacity recycled
   std::unique_ptr<View> view_;
+  IndexChurnStats last_churn_;
+  double rebuild_threshold_ = 0.5;
 };
 
 }  // namespace mqa

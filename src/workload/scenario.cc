@@ -100,6 +100,59 @@ Point DriftedLocation(const ScenarioConfig& config,
   return {Reflect(base.x + center.x - 0.5), Reflect(base.y + center.y - 0.5)};
 }
 
+/// Below this size a single std::sort beats the fork/merge overhead.
+constexpr int64_t kParallelSortMin = 1 << 15;
+
+/// Sorts `v` under `less`, fanning contiguous runs out over the pool and
+/// merging pairwise. `less` must be a *total* order (ties broken by a
+/// unique id): then the sorted permutation is unique, so the output is
+/// byte-identical to a plain std::sort for any pool size.
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>& v, ThreadPool* pool, Less less) {
+  const int64_t n = static_cast<int64_t>(v.size());
+  const int64_t threads = pool != nullptr ? pool->num_threads() : 1;
+  if (threads <= 1 || n < kParallelSortMin) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  std::vector<int64_t> bounds(static_cast<size_t>(threads) + 1);
+  for (int64_t r = 0; r <= threads; ++r) {
+    bounds[static_cast<size_t>(r)] = r * n / threads;
+  }
+  pool->ParallelFor(threads, [&](int64_t r) {
+    std::sort(v.begin() + bounds[static_cast<size_t>(r)],
+              v.begin() + bounds[static_cast<size_t>(r) + 1], less);
+  });
+  std::vector<T> scratch(v.size());
+  std::vector<T>* src = &v;
+  std::vector<T>* dst = &scratch;
+  while (bounds.size() > 2) {
+    const int64_t pairs = static_cast<int64_t>(bounds.size() - 1) / 2;
+    const bool odd_run = (bounds.size() - 1) % 2 != 0;
+    pool->ParallelFor(pairs + (odd_run ? 1 : 0), [&](int64_t p) {
+      const size_t b = static_cast<size_t>(2 * p);
+      if (p < pairs) {
+        std::merge(src->begin() + bounds[b], src->begin() + bounds[b + 1],
+                   src->begin() + bounds[b + 1], src->begin() + bounds[b + 2],
+                   dst->begin() + bounds[b], less);
+      } else {
+        std::copy(src->begin() + bounds[b], src->begin() + bounds[b + 1],
+                  dst->begin() + bounds[b]);
+      }
+    });
+    std::vector<int64_t> next;
+    next.reserve(static_cast<size_t>(pairs) + 2);
+    next.push_back(0);
+    for (int64_t p = 0; p < pairs; ++p) {
+      next.push_back(bounds[static_cast<size_t>(2 * p) + 2]);
+    }
+    if (odd_run) next.push_back(bounds.back());
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != &v) v = std::move(scratch);
+}
+
 }  // namespace
 
 const char* ScenarioKindToString(ScenarioKind kind) {
@@ -193,18 +246,19 @@ ScenarioStream GenerateScenario(const ScenarioConfig& config,
 
   RunWorkloadChunks(worker_chunks + task_chunks, pool, fill_chunk);
 
-  // (time, id) orders are total and input-independent, so the sort is
-  // deterministic regardless of generation schedule.
-  std::sort(stream.workers.begin(), stream.workers.end(),
-            [](const TimedWorker& a, const TimedWorker& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.worker.id < b.worker.id;
-            });
-  std::sort(stream.tasks.begin(), stream.tasks.end(),
-            [](const TimedTask& a, const TimedTask& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.task.id < b.task.id;
-            });
+  // (time, id) orders are total and input-independent, so the sorted
+  // sequence is unique: the parallel chunk-sort + merge below produces
+  // exactly what a single std::sort would, for any thread count.
+  ParallelSort(stream.workers, pool,
+               [](const TimedWorker& a, const TimedWorker& b) {
+                 if (a.time != b.time) return a.time < b.time;
+                 return a.worker.id < b.worker.id;
+               });
+  ParallelSort(stream.tasks, pool,
+               [](const TimedTask& a, const TimedTask& b) {
+                 if (a.time != b.time) return a.time < b.time;
+                 return a.task.id < b.task.id;
+               });
   return stream;
 }
 
