@@ -30,6 +30,7 @@
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "stream/streaming_simulator.h"
+#include "trace/trace.h"
 #include "workload/checkin.h"
 #include "workload/scenario.h"
 #include "workload/synthetic.h"
@@ -72,6 +73,9 @@ struct CliOptions {
   double watchdog_seconds = 0.0;  // 0 = off
   uint64_t seed = 42;
   int threads = 1;
+  std::string record_trace;     // write the workload as mqa-trace-v1
+  std::string replay_trace;     // replace generation with a loaded trace
+  std::string trace_format = "csv";  // csv | binary (for --record-trace)
   std::string trace_file;       // Chrome trace-event JSON (Perfetto)
   std::string metrics_file;     // metrics-registry JSON export
   std::string run_report_file;  // unified run-report JSON artifact
@@ -163,6 +167,11 @@ void PrintUsage() {
       "      candidate generation; rtree suits skewed distributions)\n"
       "  --gamma=G --window=W --seed=S --threads=T\n"
       "  --no-prediction --rejoin --csv\n"
+      "  --record-trace=FILE (write the workload as an mqa-trace-v1 trace\n"
+      "      before running; --trace-format=csv|binary picks the encoding)\n"
+      "  --replay-trace=FILE (replace workload generation with a recorded\n"
+      "      trace; replays byte-identically through batch and stream —\n"
+      "      see src/trace/README.md and docs/TESTING.md)\n"
       "  --delta-pool (delta-maintain the pair pool across epochs:\n"
       "      per-epoch build cost O(churn), byte-identical assignments)\n"
       "  --repair (re-solve only the churn-reachable subgraph each epoch;\n"
@@ -350,6 +359,9 @@ int main(int argc, char** argv) {
         ParseFlag(a, "--index", &opt.index) ||
         ParseFlag(a, "--worker-dist", &opt.worker_dist) ||
         ParseFlag(a, "--task-dist", &opt.task_dist) ||
+        ParseFlag(a, "--record-trace", &opt.record_trace) ||
+        ParseFlag(a, "--replay-trace", &opt.replay_trace) ||
+        ParseFlag(a, "--trace-format", &opt.trace_format) ||
         ParseFlag(a, "--trace", &opt.trace_file) ||
         ParseFlag(a, "--metrics-json", &opt.metrics_file) ||
         ParseFlag(a, "--run-report", &opt.run_report_file) ||
@@ -490,10 +502,31 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool use_scenario = scenario_kind != ScenarioKind::kPaper;
+  const bool replaying = !opt.replay_trace.empty();
 
   ScenarioStream scenario;
   ArrivalStream stream;
-  {
+  // The streaming horizon (and, via ceil, the batch instance count). A
+  // replayed trace overrides --instances with its recorded header.
+  double horizon = static_cast<double>(opt.instances);
+  if (replaying) {
+    auto loaded = TraceReader::ReadFile(opt.replay_trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--replay-trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    TraceData trace = std::move(loaded).value();
+    horizon = trace.horizon;
+    opt.instances = trace.num_instances();
+    opt.workers = static_cast<int64_t>(trace.scenario.workers.size());
+    opt.tasks = static_cast<int64_t>(trace.scenario.tasks.size());
+    opt.workload = "trace";
+    scenario = std::move(trace.scenario);
+    if (!opt.stream) {
+      stream = ScenarioToArrivalStream(scenario, opt.instances);
+    }
+  } else {
     // Scoped so the generation pool's threads are released before the
     // simulators spin up their own.
     ParallelRunner gen_runner(opt.threads);
@@ -544,6 +577,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Traces hold timestamped entities: continuous times for scenarios and
+  // replays, time = batch index for the per-instance generators (the
+  // latter replay byte-identically through batch AND stream).
+  if (!opt.record_trace.empty()) {
+    const auto format = ParseTraceFormat(opt.trace_format);
+    if (!format.ok()) {
+      std::fprintf(stderr, "--trace-format: %s\n",
+                   format.status().ToString().c_str());
+      return 2;
+    }
+    TraceWriter writer(horizon);
+    Status status = (use_scenario || replaying)
+                        ? writer.AddScenario(scenario)
+                        : writer.AddArrivalStream(stream);
+    if (status.ok()) {
+      status = writer.WriteFile(opt.record_trace, format.value());
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "--record-trace: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
   AssignerKind kind = AssignerKind::kGreedy;
   if (opt.algo == "dc") kind = AssignerKind::kDivideConquer;
   else if (opt.algo == "random") kind = AssignerKind::kRandom;
@@ -590,7 +647,7 @@ int main(int argc, char** argv) {
     StreamingConfig sconfig;
     sconfig.sim = config;
     sconfig.sim.maintain_worker_index = true;
-    sconfig.horizon = static_cast<double>(opt.instances);
+    sconfig.horizon = horizon;
     if (opt.epoch_policy == "instance") {
       sconfig.policy.kind = EpochPolicyKind::kPerInstance;
     } else if (opt.epoch_policy == "interval") {
@@ -609,7 +666,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     EventQueue queue;
-    if (use_scenario) {
+    if (use_scenario || replaying) {
       queue = EventQueue::FromScenario(scenario);
     } else {
       const auto valid = stream.Validate();

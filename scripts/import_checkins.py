@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Imports a Gowalla-style check-in dump into an mqa-trace-v1 CSV trace.
+
+Input rows are the SNAP check-in layout (tab- or comma-separated):
+
+    user_id <TAB> checkin_time <TAB> latitude <TAB> longitude <TAB> location_id
+
+`checkin_time` is ISO-8601 ("2010-10-19T23:55:27Z") or a float epoch.
+Each check-in becomes one arrival: users are split into workers and
+tasks by a seeded hash (--worker-fraction of users become workers, the
+paper's crowdsourcing reading of a check-in stream), timestamps are
+scaled linearly onto [0, --instances) and coordinates are normalized to
+the unit square over the data's bounding box. Velocities and deadlines
+are not part of check-in data, so they are drawn deterministically from
+the seeded RNG within the paper's Table-IV ranges.
+
+The output replays through both simulators:
+
+    scripts/import_checkins.py loc-gowalla_totalCheckins.txt \
+        -o gowalla.trace.csv --instances 15 --max-rows 20000
+    mqa_cli --replay-trace=gowalla.trace.csv --csv
+    mqa_cli --replay-trace=gowalla.trace.csv --stream --csv
+
+Format spec: src/trace/README.md. Stdlib only.
+"""
+
+import argparse
+import datetime
+import hashlib
+import math
+import random
+import sys
+
+
+def parse_time(text):
+    """Returns a float timestamp for an ISO-8601 or epoch-seconds field."""
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    cleaned = text.strip().replace("Z", "").replace("z", "")
+    try:
+        return datetime.datetime.fromisoformat(cleaned).timestamp()
+    except ValueError:
+        raise ValueError("unparseable check-in time: %r" % text)
+
+
+def fmt(value):
+    """%.17g — the shortest decimal strtod maps back to the same double."""
+    return "%.17g" % value
+
+
+def stable_unit_hash(user, seed):
+    """Deterministic user -> [0, 1) draw, independent of PYTHONHASHSEED."""
+    digest = hashlib.sha256(("%d:%s" % (seed, user)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gowalla-style check-ins -> mqa-trace-v1 CSV")
+    parser.add_argument("input", help="check-in dump (user, time, lat, lon, "
+                        "location per row; '-' for stdin)")
+    parser.add_argument("-o", "--output", required=True,
+                        help="trace file to write")
+    parser.add_argument("--instances", type=int, default=15,
+                        help="horizon in instance units (default 15)")
+    parser.add_argument("--worker-fraction", type=float, default=0.5,
+                        help="fraction of users mapped to workers")
+    parser.add_argument("--velocity", type=float, nargs=2,
+                        default=(0.2, 0.3), metavar=("LO", "HI"),
+                        help="worker velocity range (Table IV)")
+    parser.add_argument("--deadline", type=float, nargs=2,
+                        default=(1.0, 2.0), metavar=("LO", "HI"),
+                        help="task deadline range (Table IV)")
+    parser.add_argument("--max-rows", type=int, default=0,
+                        help="import at most N input rows (0 = all)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    if args.instances < 1:
+        parser.error("--instances must be >= 1")
+
+    rows = []
+    source = sys.stdin if args.input == "-" else open(args.input)
+    with source:
+        for lineno, line in enumerate(source, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t") if "\t" in line else line.split(",")
+            if len(fields) < 4:
+                print("row %d: expected >=4 fields, got %d — skipped"
+                      % (lineno, len(fields)), file=sys.stderr)
+                continue
+            try:
+                time = parse_time(fields[1])
+                lat = float(fields[2])
+                lon = float(fields[3])
+            except ValueError as err:
+                print("row %d: %s — skipped" % (lineno, err), file=sys.stderr)
+                continue
+            if not all(map(math.isfinite, (time, lat, lon))):
+                print("row %d: non-finite field — skipped" % lineno,
+                      file=sys.stderr)
+                continue
+            rows.append((time, fields[0], lat, lon))
+            if args.max_rows and len(rows) >= args.max_rows:
+                break
+    if not rows:
+        print("no usable check-ins in %s" % args.input, file=sys.stderr)
+        return 1
+
+    rows.sort(key=lambda r: r[0])
+    t_lo, t_hi = rows[0][0], rows[-1][0]
+    lat_lo = min(r[2] for r in rows)
+    lat_hi = max(r[2] for r in rows)
+    lon_lo = min(r[3] for r in rows)
+    lon_hi = max(r[3] for r in rows)
+    horizon = float(args.instances)
+    # The last check-in lands exactly on t_hi; keep it inside [0, horizon).
+    horizon_cap = math.nextafter(horizon, 0.0)
+
+    def scale(v, lo, hi):
+        return 0.5 if hi <= lo else (v - lo) / (hi - lo)
+
+    rng = random.Random(args.seed)
+    workers = []
+    tasks = []
+    for time, user, lat, lon in rows:
+        t = min(horizon * scale(time, t_lo, t_hi), horizon_cap)
+        x = scale(lon, lon_lo, lon_hi)
+        y = scale(lat, lat_lo, lat_hi)
+        # The attribute draw must not depend on the worker/task split, so
+        # changing --worker-fraction only re-labels arrivals.
+        draw = rng.uniform(0.0, 1.0)
+        if stable_unit_hash(user, args.seed) < args.worker_fraction:
+            lo, hi = args.velocity
+            workers.append((t, x, y, lo + draw * (hi - lo)))
+        else:
+            lo, hi = args.deadline
+            tasks.append((t, x, y, lo + draw * (hi - lo)))
+
+    with open(args.output, "w") as out:
+        out.write("# mqa-trace-v1 horizon=%s\n" % fmt(horizon))
+        out.write("kind,time,id,x,y,attr\n")
+        out.write("# imported from %s: %d check-ins -> %d workers, %d tasks\n"
+                  % (args.input, len(rows), len(workers), len(tasks)))
+        # Rows are already time-sorted; ids are per-kind sequence numbers
+        # in arrival order, matching the generator's (time, id) invariant.
+        iw = it = 0
+        while iw < len(workers) or it < len(tasks):
+            take_worker = it >= len(tasks) or (
+                iw < len(workers) and workers[iw][0] <= tasks[it][0])
+            if take_worker:
+                t, x, y, attr = workers[iw]
+                out.write("w,%s,%d,%s,%s,%s\n"
+                          % (fmt(t), iw, fmt(x), fmt(y), fmt(attr)))
+                iw += 1
+            else:
+                t, x, y, attr = tasks[it]
+                out.write("t,%s,%d,%s,%s,%s\n"
+                          % (fmt(t), it, fmt(x), fmt(y), fmt(attr)))
+                it += 1
+
+    print("%s: %d workers + %d tasks over horizon %g"
+          % (args.output, len(workers), len(tasks), horizon))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

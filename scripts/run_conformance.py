@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Differential conformance sweep over recorded mqa-trace-v1 traces.
+
+Replays each trace through the built ``mqa_cli`` across every combination
+of assignment algorithm x spatial-index backend x thread count x engine
+({batch, batch --delta-pool, stream}) and asserts the determinism
+contracts on the per-epoch assignment checksums extracted from
+``--run-report`` JSON:
+
+  1. backend-equivalence  — brute/grid/rtree replay to identical bits;
+  2. thread-equivalence   — 1 and 4 threads replay to identical bits
+     (and --delta-pool never changes assignments);
+  3. batch/stream-equivalence — for integer-time traces (recorded
+     arrival streams), the streaming engine under --epoch-policy=instance
+     reproduces the batch checksums byte-for-byte. Continuous-time
+     traces quantize differently under batching, so for those the two
+     engines are only checked for internal consistency.
+
+This is the out-of-process twin of tests/conformance_test.cc: it proves
+the *shipped binary* honors the contracts end to end, flags included.
+
+Usage:
+  scripts/run_conformance.py [--cli build/examples/mqa_cli] [TRACE ...]
+
+With no TRACE arguments, sweeps every tests/data/*.trace.csv.
+Exits non-zero on the first contract violation. See docs/TESTING.md.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALGOS = ["greedy", "dc", "random"]
+BACKENDS = ["brute", "grid", "rtree"]
+THREADS = [1, 4]
+
+# Pinned solver knobs so checksums are a pure function of (trace, algo).
+BASE_FLAGS = [
+    "--budget=40",
+    "--unit-price=10",
+    "--gamma=8",
+    "--window=3",
+    "--seed=5",
+]
+
+
+def trace_times_are_integral(path):
+    """True if every record in the CSV trace has an integral timestamp.
+
+    Binary traces are conservatively treated as continuous (the importer
+    and mqa_cli both default to CSV for corpus files).
+    """
+    with open(path, "rb") as fh:
+        if fh.read(8) == b"MQATRCB1":
+            return False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("kind,"):
+                continue
+            time = float(line.split(",")[1])
+            if time != int(time):
+                return False
+    return True
+
+
+def run_variant(cli, trace, algo, backend, threads, engine, report_path):
+    cmd = [
+        cli,
+        f"--replay-trace={trace}",
+        f"--algo={algo}",
+        f"--index={backend}",
+        f"--threads={threads}",
+        f"--run-report={report_path}",
+    ] + BASE_FLAGS
+    if engine == "stream":
+        cmd += ["--stream", "--epoch-policy=instance"]
+    elif engine == "delta":
+        cmd += ["--delta-pool"]
+    elif engine != "batch":
+        raise ValueError(engine)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL: {' '.join(cmd)}\nexit={proc.returncode}\n{proc.stderr}")
+    with open(report_path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    return [epoch["checksum"] for epoch in report["epochs"]]
+
+
+def sweep_trace(cli, trace, tmpdir):
+    name = os.path.basename(trace)
+    integral = trace_times_are_integral(trace)
+    print(f"== {name} ({'integer' if integral else 'continuous'}-time)")
+    failures = 0
+    for algo in ALGOS:
+        reference = {}  # engine-class -> (variant label, checksums)
+        runs = 0
+        for backend in BACKENDS:
+            for threads in THREADS:
+                for engine in ("batch", "delta", "stream"):
+                    label = f"{algo}/{backend}/t{threads}/{engine}"
+                    report = os.path.join(tmpdir, "report.json")
+                    checksums = run_variant(
+                        cli, trace, algo, backend, threads, engine,
+                        report)
+                    runs += 1
+                    if not checksums:
+                        sys.exit(f"FAIL: {label} produced no epochs")
+                    # batch and delta-pool share one contract class; the
+                    # stream engine replays raw timestamps, so it only
+                    # joins that class for integer-time traces.
+                    key = ("batch"
+                           if engine != "stream" or integral else "stream")
+                    if key not in reference:
+                        reference[key] = (label, checksums)
+                    elif reference[key][1] != checksums:
+                        ref_label, ref = reference[key]
+                        print(f"   MISMATCH {label} vs {ref_label}")
+                        print(f"     {ref_label}: {' '.join(ref)}")
+                        print(f"     {label}: {' '.join(checksums)}")
+                        failures += 1
+        status = "ok" if failures == 0 else "FAILED"
+        print(f"   {algo}: {runs} runs, {status}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "traces", nargs="*",
+        help="trace files to sweep (default: tests/data/*.trace.csv)")
+    parser.add_argument(
+        "--cli", default=os.path.join(REPO, "build", "examples", "mqa_cli"),
+        help="path to the built mqa_cli binary")
+    args = parser.parse_args()
+
+    traces = args.traces or sorted(
+        glob.glob(os.path.join(REPO, "tests", "data", "*.trace.csv")))
+    if not traces:
+        sys.exit("no traces found; record one with mqa_cli --record-trace")
+    if not os.access(args.cli, os.X_OK):
+        sys.exit(f"mqa_cli not found at {args.cli}; build the repo first")
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        for trace in traces:
+            failures += sweep_trace(args.cli, trace, tmpdir)
+    if failures:
+        sys.exit(f"{failures} contract violation(s)")
+    print(f"conformance ok: {len(traces)} trace(s), all contracts hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,28 +7,19 @@
 #include "core/assigner.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
-#include "workload/checkin.h"
-#include "workload/synthetic.h"
+#include "test_util.h"
 
 namespace mqa {
 namespace {
 
-SyntheticConfig SmallSynthetic() {
-  SyntheticConfig config;
-  config.num_workers = 600;
-  config.num_tasks = 600;
-  config.num_instances = 8;
-  config.seed = 7;
-  return config;
+ArrivalStream SmallSynthetic() {
+  return testing_util::SmallSyntheticStream(600, 600, 8, 7);
 }
 
 SimulatorConfig SmallSim(bool use_prediction) {
-  SimulatorConfig config;
+  SimulatorConfig config = testing_util::PropertySimConfig();
   config.budget = 30.0;
-  config.unit_price = 10.0;
   config.use_prediction = use_prediction;
-  config.prediction.gamma = 8;
-  config.prediction.window = 3;
   return config;
 }
 
@@ -44,7 +35,7 @@ double RunQuality(const ArrivalStream& stream, const QualityModel& quality,
 TEST(IntegrationTest, PredictionImprovesGreedyQuality) {
   // The paper's central claim (Fig. 11a): WP beats WoP.
   const RangeQualityModel quality(1.0, 2.0, 11);
-  const ArrivalStream stream = GenerateSynthetic(SmallSynthetic());
+  const ArrivalStream stream = SmallSynthetic();
   const double wp =
       RunQuality(stream, quality, AssignerKind::kGreedy, true);
   const double wop =
@@ -59,7 +50,7 @@ TEST(IntegrationTest, AlgorithmQualityOrdering) {
   // Paper Fig. 11-16: D&C >= GREEDY >> RANDOM (allowing small slack for
   // per-seed noise on D&C vs GREEDY).
   const RangeQualityModel quality(1.0, 2.0, 13);
-  const ArrivalStream stream = GenerateSynthetic(SmallSynthetic());
+  const ArrivalStream stream = SmallSynthetic();
   const double dc =
       RunQuality(stream, quality, AssignerKind::kDivideConquer, true);
   const double greedy =
@@ -73,7 +64,7 @@ TEST(IntegrationTest, AlgorithmQualityOrdering) {
 TEST(IntegrationTest, QualityGrowsWithBudget) {
   // Paper Fig. 11a: a larger budget B admits more pairs.
   const RangeQualityModel quality(1.0, 2.0, 17);
-  const ArrivalStream stream = GenerateSynthetic(SmallSynthetic());
+  const ArrivalStream stream = SmallSynthetic();
   double prev = -1.0;
   for (const double budget : {5.0, 20.0, 80.0}) {
     SimulatorConfig config = SmallSim(true);
@@ -89,7 +80,7 @@ TEST(IntegrationTest, QualityGrowsWithBudget) {
 
 TEST(IntegrationTest, QualityGrowsWithQualityRange) {
   // Paper Fig. 12a.
-  const ArrivalStream stream = GenerateSynthetic(SmallSynthetic());
+  const ArrivalStream stream = SmallSynthetic();
   double prev = -1.0;
   for (const auto& [lo, hi] :
        std::vector<std::pair<double, double>>{{0.25, 0.5}, {1, 2}, {3, 4}}) {
@@ -104,10 +95,8 @@ TEST(IntegrationTest, PredictionAccuracyIsReasonable) {
   // Paper Fig. 10: average relative error below ~2 cells' worth on a
   // stationary synthetic stream.
   const RangeQualityModel quality(1.0, 2.0, 23);
-  SyntheticConfig wconfig = SmallSynthetic();
-  wconfig.num_workers = 1500;
-  wconfig.num_tasks = 1500;
-  const ArrivalStream stream = GenerateSynthetic(wconfig);
+  const ArrivalStream stream =
+      testing_util::SmallSyntheticStream(1500, 1500, 8, 7);
   SimulatorConfig config = SmallSim(true);
   Simulator sim(config, &quality);
   auto assigner = CreateAssigner(AssignerKind::kRandom);
@@ -119,11 +108,8 @@ TEST(IntegrationTest, PredictionAccuracyIsReasonable) {
 
 TEST(IntegrationTest, CheckinPipelineRuns) {
   const RangeQualityModel quality(1.0, 2.0, 29);
-  CheckinConfig wconfig;
-  wconfig.num_workers = 600;
-  wconfig.num_tasks = 800;
-  wconfig.num_instances = 8;
-  const ArrivalStream stream = GenerateCheckin(wconfig);
+  const ArrivalStream stream =
+      testing_util::SmallCheckinStream(600, 800, 8, 42);
   for (const AssignerKind kind :
        {AssignerKind::kGreedy, AssignerKind::kDivideConquer}) {
     const double q = RunQuality(stream, quality, kind, true);

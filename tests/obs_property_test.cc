@@ -31,8 +31,7 @@
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "stream/streaming_simulator.h"
-#include "workload/scenario.h"
-#include "workload/synthetic.h"
+#include "test_util.h"
 
 namespace mqa {
 namespace {
@@ -85,20 +84,12 @@ void AppendInstance(const InstanceMetrics& m, ResultFingerprint* fp) {
 }
 
 ResultFingerprint RunBatch(const ObsCase& c) {
-  SyntheticConfig w;
-  w.num_workers = 250;
-  w.num_tasks = 250;
-  w.num_instances = 5;
-  w.seed = 31;
-  const ArrivalStream stream = GenerateSynthetic(w);
+  const ArrivalStream stream =
+      testing_util::SmallSyntheticStream(250, 250, 5, 31);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
-  SimulatorConfig config;
+  SimulatorConfig config = testing_util::PropertySimConfig();
   config.budget = 35.0;
-  config.unit_price = 10.0;
-  config.use_prediction = true;
-  config.prediction.gamma = 8;
-  config.prediction.window = 3;
   config.prediction.seed = 31;
   config.num_threads = c.threads;
 
@@ -118,20 +109,13 @@ ResultFingerprint RunBatch(const ObsCase& c) {
 }
 
 ResultFingerprint RunStream(const ObsCase& c) {
-  ScenarioConfig w;
-  w.kind = ScenarioKind::kBursty;
-  w.num_workers = 200;
-  w.num_tasks = 200;
-  w.horizon = 4.0;
-  w.seed = 23;
-  const ScenarioStream scenario = GenerateScenario(w);
+  const ScenarioStream scenario =
+      testing_util::SmallScenario(ScenarioKind::kBursty, 200, 200, 4.0, 23);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
   StreamingConfig config;
+  config.sim = testing_util::PropertySimConfig();
   config.sim.budget = 35.0;
-  config.sim.unit_price = 10.0;
-  config.sim.use_prediction = true;
-  config.sim.prediction.gamma = 8;
   config.sim.prediction.seed = 23;
   config.sim.num_threads = c.threads;
   config.sim.maintain_worker_index = true;

@@ -274,22 +274,14 @@ void ExpectSameSummary(const SimulationSummary& a,
 // The full pipeline through the simulator, including the incrementally
 // maintained TaskIndexCache queried concurrently by shards.
 TEST(ParallelSimulatorProperty, MetricsAreByteIdenticalAcrossThreads) {
-  SyntheticConfig w;
-  w.num_workers = 400;
-  w.num_tasks = 400;
-  w.num_instances = 5;
-  w.seed = 23;
-  const ArrivalStream stream = GenerateSynthetic(w);
+  const ArrivalStream stream =
+      testing_util::SmallSyntheticStream(400, 400, 5, 23);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
   for (const bool reuse_index : {true, false}) {
     for (const AssignerKind kind :
          {AssignerKind::kGreedy, AssignerKind::kDivideConquer}) {
-      SimulatorConfig config;
-      config.budget = 40.0;
-      config.unit_price = 10.0;
-      config.prediction.gamma = 8;
-      config.prediction.window = 3;
+      SimulatorConfig config = testing_util::PropertySimConfig();
       config.reuse_task_index = reuse_index;
 
       Simulator sequential(config, &quality);

@@ -9,11 +9,14 @@
 #include "core/assigner.h"
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
-#include "workload/checkin.h"
-#include "workload/synthetic.h"
+#include "test_util.h"
 
 namespace mqa {
 namespace {
+
+using testing_util::PropertySimConfig;
+using testing_util::SmallCheckinStream;
+using testing_util::SmallSyntheticStream;
 
 struct SimCase {
   AssignerKind kind;
@@ -38,30 +41,13 @@ class SimulatorPropertyTest : public ::testing::TestWithParam<SimCase> {};
 
 TEST_P(SimulatorPropertyTest, ConstraintsAndAccountingHold) {
   const SimCase& c = GetParam();
-  ArrivalStream stream;
-  if (c.checkin) {
-    CheckinConfig w;
-    w.num_workers = 240;
-    w.num_tasks = 330;
-    w.num_instances = 6;
-    w.seed = 11;
-    stream = GenerateCheckin(w);
-  } else {
-    SyntheticConfig w;
-    w.num_workers = 300;
-    w.num_tasks = 300;
-    w.num_instances = 6;
-    w.seed = 11;
-    stream = GenerateSynthetic(w);
-  }
+  const ArrivalStream stream = c.checkin
+                                   ? SmallCheckinStream(240, 330, 6, 11)
+                                   : SmallSyntheticStream(300, 300, 6, 11);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
-  SimulatorConfig config;
-  config.budget = 40.0;
-  config.unit_price = 10.0;
+  SimulatorConfig config = PropertySimConfig();
   config.use_prediction = c.prediction;
-  config.prediction.gamma = 8;
-  config.prediction.window = 3;
   config.workers_rejoin = c.rejoin;
   // validate_assignments (on by default) makes the simulator itself the
   // assertion: any Def. 3/4 violation fails the run.
@@ -96,19 +82,12 @@ TEST_P(SimulatorPropertyTest, ConstraintsAndAccountingHold) {
 TEST_P(SimulatorPropertyTest, RerunIsDeterministic) {
   const SimCase& c = GetParam();
   if (c.checkin) return;  // one workload flavor suffices for determinism
-  SyntheticConfig w;
-  w.num_workers = 200;
-  w.num_tasks = 200;
-  w.num_instances = 4;
-  w.seed = 17;
-  const ArrivalStream stream = GenerateSynthetic(w);
+  const ArrivalStream stream = SmallSyntheticStream(200, 200, 4, 17);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
-  SimulatorConfig config;
+  SimulatorConfig config = PropertySimConfig();
   config.budget = 30.0;
-  config.unit_price = 10.0;
   config.use_prediction = c.prediction;
-  config.prediction.gamma = 8;
   config.workers_rejoin = c.rejoin;
 
   const auto run_once = [&]() {

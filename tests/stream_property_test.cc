@@ -13,32 +13,15 @@
 #include "quality/range_quality.h"
 #include "sim/simulator.h"
 #include "stream/streaming_simulator.h"
-#include "workload/checkin.h"
-#include "workload/synthetic.h"
+#include "test_util.h"
 
 namespace mqa {
 namespace {
 
-/// Delegating assigner that records every result, so the comparison sees
-/// the raw pairs, not just the summary aggregates.
-class RecordingAssigner : public Assigner {
- public:
-  explicit RecordingAssigner(std::unique_ptr<Assigner> inner)
-      : inner_(std::move(inner)) {}
-
-  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
-    auto result = inner_->Assign(instance);
-    if (result.ok()) recorded_.push_back(result.value());
-    return result;
-  }
-  const char* name() const override { return inner_->name(); }
-
-  const std::vector<AssignmentResult>& recorded() const { return recorded_; }
-
- private:
-  std::unique_ptr<Assigner> inner_;
-  std::vector<AssignmentResult> recorded_;
-};
+using testing_util::PropertySimConfig;
+using testing_util::RecordingAssigner;
+using testing_util::SmallCheckinStream;
+using testing_util::SmallSyntheticStream;
 
 struct StreamCase {
   AssignerKind kind;
@@ -67,30 +50,13 @@ class StreamEquivalenceTest : public ::testing::TestWithParam<StreamCase> {};
 
 TEST_P(StreamEquivalenceTest, PerInstancePolicyMatchesBatchByteForByte) {
   const StreamCase& c = GetParam();
-  ArrivalStream stream;
-  if (c.checkin) {
-    CheckinConfig w;
-    w.num_workers = 220;
-    w.num_tasks = 300;
-    w.num_instances = 6;
-    w.seed = 7;
-    stream = GenerateCheckin(w);
-  } else {
-    SyntheticConfig w;
-    w.num_workers = 280;
-    w.num_tasks = 280;
-    w.num_instances = 6;
-    w.seed = 7;
-    stream = GenerateSynthetic(w);
-  }
+  const ArrivalStream stream = c.checkin
+                                   ? SmallCheckinStream(220, 300, 6, 7)
+                                   : SmallSyntheticStream(280, 280, 6, 7);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
-  SimulatorConfig sim_config;
-  sim_config.budget = 40.0;
-  sim_config.unit_price = 10.0;
+  SimulatorConfig sim_config = PropertySimConfig();
   sim_config.use_prediction = c.prediction;
-  sim_config.prediction.gamma = 8;
-  sim_config.prediction.window = 3;
   sim_config.workers_rejoin = c.rejoin;
   sim_config.reuse_task_index = c.reuse_task_index;
   sim_config.num_threads = c.threads;
@@ -213,19 +179,10 @@ class DeltaEquivalenceTest
 // byte-for-byte what the from-scratch build produces.
 TEST_P(DeltaEquivalenceTest, IncrementalPoolMatchesScratchByteForByte) {
   const DeltaStreamCase& c = GetParam();
-  SyntheticConfig w;
-  w.num_workers = 280;
-  w.num_tasks = 280;
-  w.num_instances = 6;
-  w.seed = 7;
-  const ArrivalStream stream = GenerateSynthetic(w);
+  const ArrivalStream stream = SmallSyntheticStream(280, 280, 6, 7);
   const RangeQualityModel quality(1.0, 2.0, 13);
 
-  SimulatorConfig sim_config;
-  sim_config.budget = 40.0;
-  sim_config.unit_price = 10.0;
-  sim_config.prediction.gamma = 8;
-  sim_config.prediction.window = 3;
+  SimulatorConfig sim_config = PropertySimConfig();
   sim_config.num_threads = c.threads;
   sim_config.index_backend = c.backend;
 

@@ -3,7 +3,9 @@
 // fail-fast rejection of malformed entities.
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -344,6 +346,137 @@ TEST(StreamingPolicyTest, CoverableBacklogCountsReachableTasksOnly) {
   ASSERT_EQ(summary.value().per_epoch.size(), 1u);
   EXPECT_EQ(summary.value().per_epoch[0].backlog_before, 2);
   EXPECT_EQ(summary.value().per_epoch[0].coverable_backlog, 1);
+}
+
+// --- Watermark / late-event semantics --------------------------------------
+//
+// The streaming engine's lateness contract (src/stream/README.md): events
+// are only observed at epoch boundaries, so an arrival mid-window waits
+// until the next epoch fires. Its deadline decays by exactly that wait
+// (the batch loop's carryover arithmetic), which bounds the tolerated
+// lateness to one epoch: under --epoch-policy=instance a task whose
+// deadline cannot survive until the next grid tick expires at ingestion
+// and is never offered to the assigner.
+
+TEST(WatermarkTest, LateTaskPastToleranceExpiresAtIngestion) {
+  const testing_util::ConstantQualityModel quality(1.0);
+  StreamingConfig config = TinyConfig();
+  config.policy.kind = EpochPolicyKind::kPerInstance;
+  config.horizon = 2.0;
+
+  EventQueue queue;
+  StreamEvent w;
+  w.kind = EventKind::kWorkerArrival;
+  w.worker = MakeWorker(0, 0.5, 0.5, 0.5);
+  w.time = 0.0;
+  queue.Push(w);
+  // Arrives just after the t=0 epoch; 0.9 of deadline cannot cover the
+  // 0.95 wait until the t=1 epoch, so it must expire unobserved.
+  StreamEvent dead;
+  dead.kind = EventKind::kTaskArrival;
+  dead.task = MakeTask(1, 0.5, 0.5, 0.9);
+  dead.time = 0.05;
+  queue.Push(dead);
+  // Boundary pin: a deadline exactly equal to the wait (remaining == 0)
+  // also expires — expiry is "deadline <= epoch time", not "<".
+  StreamEvent edge;
+  edge.kind = EventKind::kTaskArrival;
+  edge.task = MakeTask(2, 0.5, 0.5, 0.95);
+  edge.time = 0.05;
+  queue.Push(edge);
+
+  StreamingSimulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(std::move(queue), assigner.get());
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  const auto& epochs = summary.value().per_epoch;
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[1].expired, 2);
+  EXPECT_EQ(epochs[1].backlog_before, 0);
+  EXPECT_EQ(summary.value().total_assigned, 0);
+}
+
+TEST(WatermarkTest, LateTaskWithinToleranceServedWithDecayedDeadline) {
+  const testing_util::ConstantQualityModel quality(1.0);
+  StreamingConfig config = TinyConfig();
+  config.policy.kind = EpochPolicyKind::kPerInstance;
+  config.horizon = 2.0;
+
+  EventQueue queue;
+  StreamEvent w;
+  w.kind = EventKind::kWorkerArrival;
+  w.worker = MakeWorker(0, 0.5, 0.5, 0.5);
+  w.time = 0.0;
+  queue.Push(w);
+  // Same lateness as above, but 1.2 of deadline survives the 0.95 wait:
+  // the task is served at t=1 with 0.25 of deadline remaining.
+  StreamEvent t;
+  t.kind = EventKind::kTaskArrival;
+  t.task = MakeTask(1, 0.5, 0.5, 1.2);
+  t.time = 0.05;
+  queue.Push(t);
+
+  StreamingSimulator sim(config, &quality);
+  auto assigner = CreateAssigner(AssignerKind::kGreedy);
+  const auto summary = sim.Run(std::move(queue), assigner.get());
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  const auto& epochs = summary.value().per_epoch;
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[1].instance.assigned, 1);
+  EXPECT_EQ(epochs[1].expired, 0);
+  // The recorded queue wait is arrival -> serving epoch.
+  EXPECT_DOUBLE_EQ(summary.value().p50_queue_wait, 0.95);
+}
+
+TEST(WatermarkTest, QueueAbsorbsOutOfOrderPushes) {
+  // The event queue is the watermark mechanism: producers may push in any
+  // order and the engine still observes time-sorted events, so a
+  // scrambled feed replays to the same bits as a sorted one.
+  const auto make_events = [] {
+    std::vector<StreamEvent> events;
+    for (int k = 0; k < 6; ++k) {
+      StreamEvent w;
+      w.kind = EventKind::kWorkerArrival;
+      w.worker = MakeWorker(k, 0.1 + 0.12 * k, 0.4, 0.5);
+      w.time = 0.1 + 0.3 * k;
+      events.push_back(w);
+      StreamEvent t;
+      t.kind = EventKind::kTaskArrival;
+      t.task = MakeTask(100 + k, 0.12 + 0.12 * k, 0.45, 2.0);
+      t.time = 0.2 + 0.3 * k;
+      events.push_back(t);
+    }
+    return events;
+  };
+  const auto run = [](EventQueue queue) {
+    const testing_util::ConstantQualityModel quality(1.0);
+    StreamingConfig config = TinyConfig();
+    config.policy.kind = EpochPolicyKind::kPerInstance;
+    config.horizon = 2.0;
+    StreamingSimulator sim(config, &quality);
+    auto assigner = CreateAssigner(AssignerKind::kGreedy);
+    const auto summary = sim.Run(std::move(queue), assigner.get());
+    EXPECT_TRUE(summary.ok()) << summary.status();
+    std::vector<uint64_t> checksums;
+    if (summary.ok()) {
+      for (const auto& e : summary.value().per_epoch) {
+        checksums.push_back(e.instance.assignment_checksum);
+      }
+    }
+    return checksums;
+  };
+
+  EventQueue sorted;
+  for (const StreamEvent& e : make_events()) sorted.Push(e);
+  EventQueue scrambled;
+  // All event times are distinct, so push order must not matter.
+  std::vector<StreamEvent> events = make_events();
+  for (size_t k = 0; k < events.size(); ++k) {
+    scrambled.Push(events[(k * 7 + 3) % events.size()]);
+  }
+  const auto expected = run(std::move(sorted));
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run(std::move(scrambled)), expected);
 }
 
 // --- Fail-fast on malformed inputs -----------------------------------------

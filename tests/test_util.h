@@ -3,13 +3,20 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/assigner.h"
 #include "model/problem_instance.h"
 #include "model/task.h"
 #include "model/worker.h"
 #include "quality/quality_model.h"
+#include "sim/arrival_stream.h"
+#include "sim/simulator_config.h"
+#include "workload/checkin.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
 
 namespace mqa {
 namespace testing_util {
@@ -115,6 +122,74 @@ inline ProblemInstance RandomInstance(const RandomInstanceOptions& opts,
   return ProblemInstance(std::move(workers), static_cast<size_t>(opts.num_workers),
                          std::move(tasks), static_cast<size_t>(opts.num_tasks),
                          quality, opts.unit_price, opts.budget);
+}
+
+/// Delegating assigner that records every result, so equivalence tests
+/// can compare the raw assignment pairs, not just summary aggregates.
+class RecordingAssigner : public Assigner {
+ public:
+  explicit RecordingAssigner(std::unique_ptr<Assigner> inner)
+      : inner_(std::move(inner)) {}
+
+  Result<AssignmentResult> Assign(const ProblemInstance& instance) override {
+    auto result = inner_->Assign(instance);
+    if (result.ok()) recorded_.push_back(result.value());
+    return result;
+  }
+  const char* name() const override { return inner_->name(); }
+
+  const std::vector<AssignmentResult>& recorded() const { return recorded_; }
+
+ private:
+  std::unique_ptr<Assigner> inner_;
+  std::vector<AssignmentResult> recorded_;
+};
+
+/// Small per-instance workloads shared by the property and conformance
+/// tests — one builder per generator flavor instead of a fresh ad-hoc
+/// config block in every test file.
+inline ArrivalStream SmallSyntheticStream(int64_t workers, int64_t tasks,
+                                          int instances, uint64_t seed) {
+  SyntheticConfig w;
+  w.num_workers = workers;
+  w.num_tasks = tasks;
+  w.num_instances = instances;
+  w.seed = seed;
+  return GenerateSynthetic(w);
+}
+
+inline ArrivalStream SmallCheckinStream(int64_t workers, int64_t tasks,
+                                        int instances, uint64_t seed) {
+  CheckinConfig w;
+  w.num_workers = workers;
+  w.num_tasks = tasks;
+  w.num_instances = instances;
+  w.seed = seed;
+  return GenerateCheckin(w);
+}
+
+inline ScenarioStream SmallScenario(ScenarioKind kind, int64_t workers,
+                                    int64_t tasks, double horizon,
+                                    uint64_t seed) {
+  ScenarioConfig w;
+  w.kind = kind;
+  w.num_workers = workers;
+  w.num_tasks = tasks;
+  w.horizon = horizon;
+  w.seed = seed;
+  return GenerateScenario(w);
+}
+
+/// The simulator configuration the property tests share: paper ranges
+/// scaled to test-sized workloads (budget 40, unit price C=10, gamma 8,
+/// window 3). Tests override individual fields as needed.
+inline SimulatorConfig PropertySimConfig() {
+  SimulatorConfig config;
+  config.budget = 40.0;
+  config.unit_price = 10.0;
+  config.prediction.gamma = 8;
+  config.prediction.window = 3;
+  return config;
 }
 
 }  // namespace testing_util
